@@ -1,0 +1,22 @@
+"""FIG6 — regenerate Figure 6: WS execution, small file.
+
+Prints/saves the 3-second CPU / network / disk series of the appliance
+host during one small-executable invocation, plus the headline facts the
+paper reports (security-dominated traffic, low disk utilization,
+periodic output-poll writes).
+"""
+
+from repro.scenarios import run_fig6
+
+
+def test_fig6_ws_execution_small_file(benchmark, save_report, save_series):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    save_report("fig6", result.render())
+    save_series("fig6", result.series)
+    benchmark.extra_info["security_fraction"] = round(
+        result.security_fraction, 3)
+    benchmark.extra_info["polls"] = result.polls
+    benchmark.extra_info["invocation_wall_s"] = round(
+        result.invocation_total, 1)
+    assert result.security_fraction > 0.25
+    assert result.polls >= 5

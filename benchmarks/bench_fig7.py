@@ -1,0 +1,19 @@
+"""FIG7 — regenerate Figure 7: WS execution, ~5 MB file.
+
+The headline shape: a ~60-second upload plateau at 80-90 KB/s on the
+appliance's WAN uplink, an early temp-file disk-write peak, and the
+periodic output-poll writes — network-bound, not disk-bound.
+"""
+
+from repro.scenarios import run_fig7
+
+
+def test_fig7_ws_execution_large_file(benchmark, save_report, save_series):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_report("fig7", result.render())
+    save_series("fig7", result.series)
+    benchmark.extra_info["upload_seconds"] = round(result.upload_seconds, 1)
+    benchmark.extra_info["plateau_rate_kbps"] = round(
+        result.plateau_rate_kbps, 1)
+    assert 50.0 <= result.upload_seconds <= 75.0
+    assert 80.0 <= result.plateau_rate_kbps <= 90.0

@@ -1,0 +1,26 @@
+"""FIG8 — regenerate Figure 8: upload + web-service generation.
+
+The headline shape: a tall network-input peak (fast LAN), high CPU while
+receiving/storing/building, and the file written to disk **twice** (temp
+location, then database).  The ablation row shows the "may be improved"
+single-write variant.
+"""
+
+from repro.scenarios import run_fig8
+
+
+def test_fig8_upload_and_generate(benchmark, save_report, save_series):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_report("fig8", result.render())
+    save_series("fig8", result.series)
+    benchmark.extra_info["disk_write_bursts"] = len(result.disk_write_bursts)
+    benchmark.extra_info["write_amplification"] = round(
+        result.bytes_written / result.file_bytes, 2)
+    assert len(result.disk_write_bursts) == 2
+
+
+def test_fig8_ablation_single_write(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig8(double_write=False), rounds=1, iterations=1)
+    save_report("fig8_ablation_single_write", result.render())
+    assert len(result.disk_write_bursts) == 1

@@ -1,0 +1,205 @@
+"""MICRO — wall-clock microbenchmarks of the real code paths.
+
+These are engineering benchmarks (no paper counterpart): they time the
+actual Python implementations — the event kernel, SOAP marshalling,
+WSDL round-trips, the SQL engine, WAL recovery, RSL, and the batch
+scheduler — so performance regressions in the substrate are visible.
+"""
+
+import random
+
+from repro.db import Database, execute_sql
+from repro.db.table import Column
+from repro.grid import BatchScheduler, GridJob, JobDescription, JobState
+from repro.grid.node import ComputeNode, NodePool
+from repro.grid.rsl import generate_rsl, parse_rsl
+from repro.simkernel import Simulator
+from repro.ws import (
+    OperationSpec, ParameterSpec, ServiceDescription, generate_wsdl,
+    parse_wsdl,
+)
+from repro.ws.soap import SoapEnvelope
+
+
+def test_micro_event_kernel_throughput(benchmark):
+    """Schedule+process 10k timeout events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(i * 0.001)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_micro_process_switching(benchmark):
+    """1000 processes ping-ponging through 10 yields each."""
+
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        for _ in range(1000):
+            sim.process(worker())
+        sim.run()
+        return sim.events_processed
+
+    benchmark(run)
+
+
+def test_micro_soap_roundtrip(benchmark):
+    env = SoapEnvelope.request("execute", {
+        "name": "alice", "count": 7, "rate": 2.5, "blob": b"x" * 4096})
+
+    def run():
+        return SoapEnvelope.decode(env.encode())
+
+    decoded = benchmark(run)
+    assert decoded.params["count"] == 7
+
+
+def test_micro_wsdl_roundtrip(benchmark):
+    service = ServiceDescription("Bench", [
+        OperationSpec(f"op{i}", [ParameterSpec(f"p{j}") for j in range(4)])
+        for i in range(8)
+    ])
+
+    def run():
+        return parse_wsdl(generate_wsdl(service, "soap://h/Bench"))
+
+    parsed, _ = benchmark(run)
+    assert parsed == service
+
+
+def test_micro_sql_insert_select(benchmark):
+    def run():
+        db = Database()
+        execute_sql(db, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        execute_sql(db, "CREATE INDEX ON t (v)")
+        db.begin()
+        for i in range(500):
+            db.insert("t", [i, f"value-{i % 50}"])
+        db.commit()
+        return execute_sql(db, "SELECT id FROM t WHERE v = 'value-7' "
+                               "ORDER BY id LIMIT 5")
+
+    rows = benchmark(run)
+    assert len(rows) == 5
+
+
+def test_micro_wal_recovery(benchmark):
+    db = Database()
+    db.create_table("t", [Column("k", "INT", primary_key=True),
+                          Column("v", "BLOB")])
+    payload = bytes(range(256)) * 8
+    for i in range(300):
+        db.insert("t", [i, payload])
+    image = db.wal.snapshot()
+
+    def run():
+        return Database.recover(image).count("t")
+
+    assert benchmark(run) == 300
+
+
+def test_micro_rsl_roundtrip(benchmark):
+    desc = JobDescription(executable="/scratch/app", count=16,
+                          arguments=[f"arg{i}" for i in range(8)],
+                          max_wall_time=7200, environment=["A=1", "B=2"])
+
+    def run():
+        return parse_rsl(generate_rsl(desc))
+
+    assert benchmark(run) == desc
+
+
+def test_micro_scheduler_throughput(benchmark):
+    """Push 500 jobs through FIFO+backfill on a 64-core pool."""
+
+    def run():
+        sim = Simulator()
+        pool = NodePool([ComputeNode(f"n{i}", 8) for i in range(8)])
+        scheduler = BatchScheduler(sim, pool)
+        rng = random.Random(0)
+        for i in range(500):
+            desc = JobDescription(executable="/x",
+                                  count=rng.randint(1, 16),
+                                  max_wall_time=100)
+            job = GridJob(f"j{i}", desc, "/CN=bench", 0.0)
+            job.transition(JobState.STAGE_IN, 0.0)
+            job.transition(JobState.PENDING, 0.0)
+            scheduler.submit(job, runtime=rng.uniform(1, 90))
+        sim.run()
+        return scheduler.jobs_completed
+
+    assert benchmark(run) == 500
+
+
+def test_micro_uddi_publish_find(benchmark):
+    """Publish 300 services, then pattern-search the registry."""
+    from repro.ws import UddiRegistry
+
+    def run():
+        reg = UddiRegistry()
+        biz = reg.save_business("Bench")
+        for i in range(300):
+            svc = reg.save_service(biz.key, f"Service{i:03d}")
+            reg.save_binding(svc.key, f"soap://h/Service{i:03d}")
+        return len(reg.find_service("service1%"))
+
+    assert benchmark(run) == 100  # Service100..Service199
+
+
+def test_micro_payload_roundtrip_1mb(benchmark):
+    from repro.workloads import make_payload, parse_payload
+
+    def run():
+        payload = make_payload("fixed", size=1 << 20, runtime="5")
+        return parse_payload(payload)
+
+    profile, options = benchmark(run)
+    assert profile == "fixed"
+
+
+def test_micro_proxy_chain_validation(benchmark):
+    import random
+
+    from repro.security import CertificateAuthority, delegate_proxy, validate_chain
+
+    ca = CertificateAuthority("BenchCA", random.Random(0))
+    key, cert = ca.issue_identity("/CN=bench", 0.0, 10000.0,
+                                  random.Random(1))
+    k1, p1 = delegate_proxy(cert, key, 0.0, 5000.0, serial=1)
+    k2, p2 = delegate_proxy(p1, k1, 0.0, 4000.0, serial=2)
+    chain = [p2, p1, cert]
+    trusted = {ca.name: ca.public_key}
+
+    def run():
+        return validate_chain(chain, trusted, now=100.0)
+
+    assert benchmark(run) == "/CN=bench"
+
+
+def test_micro_fairshare_contention(benchmark):
+    """100 overlapping flows on one shared link."""
+    from repro.hardware.fairshare import FairShareServer
+
+    def run():
+        sim = Simulator()
+        srv = FairShareServer(sim, capacity=1000.0)
+
+        def feed(i):
+            yield sim.timeout(i * 0.1)
+            yield srv.submit(500.0)
+
+        for i in range(100):
+            sim.process(feed(i))
+        sim.run()
+        return srv.work_integral()
+
+    assert abs(benchmark(run) - 100 * 500.0) < 1e-6

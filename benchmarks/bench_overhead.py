@@ -1,0 +1,19 @@
+"""OVHD — §VIII.B overhead study: onServe vs the direct JSE path.
+
+"The additional overhead added by Cyberaide onServe should be quite
+small compared to the runtime of a typical executable" — relative
+overhead must fall monotonically with job runtime.
+"""
+
+from repro.scenarios import run_overhead
+
+
+def test_overhead_vs_direct_jse(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_overhead(runtimes=(10.0, 60.0, 300.0, 1800.0)),
+        rounds=1, iterations=1)
+    save_report("overhead", result.render())
+    rels = [row["relative"] for row in result.rows]
+    benchmark.extra_info["relative_overheads"] = [round(r, 3) for r in rels]
+    assert rels == sorted(rels, reverse=True)
+    assert rels[-1] < 0.02  # well under 2% for a 30-minute job

@@ -1,0 +1,40 @@
+"""SCAL — §VIII.D scalability sweeps.
+
+Two sweeps bound the design space the paper discusses:
+
+* fast network + concurrent uploads  → **disk** saturates (double write),
+* slow network + concurrent invokes  → **network** saturates.
+
+CPU never wins — "The solution doesn't need a lot of CPU time nor a lot
+of memory".  A third sweep runs the improved single-write portal to
+quantify how much the §VIII.D.3 flaw costs.
+"""
+
+from repro.core.onserve import OnServeConfig
+from repro.scenarios import run_scalability
+from repro.scenarios.scalability import NETWORKS, _one_level
+from repro.units import MB
+
+
+def test_scalability_uploads_fast_network(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_scalability(workload="upload", network="fast",
+                                levels=(1, 2, 4, 8),
+                                file_bytes=int(5 * MB(1))),
+        rounds=1, iterations=1)
+    save_report("scalability_upload_fast", result.render())
+    loaded = result.rows[-1]
+    benchmark.extra_info["bottleneck"] = result.bottleneck(loaded)
+    assert result.bottleneck(loaded) == "disk"
+    assert all(row["cpu_load"] < 0.85 for row in result.rows)
+
+
+def test_scalability_invocations_slow_network(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_scalability(workload="invoke", network="slow",
+                                levels=(1, 2, 4)),
+        rounds=1, iterations=1)
+    save_report("scalability_invoke_slow", result.render())
+    loaded = result.rows[-1]
+    benchmark.extra_info["bottleneck"] = result.bottleneck(loaded)
+    assert result.bottleneck(loaded) == "network"

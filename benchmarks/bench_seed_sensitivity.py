@@ -1,0 +1,47 @@
+"""SEEDS — robustness of the headline claims across random seeds.
+
+Two checks:
+
+* Figure 7's measurement has *no* stochastic inputs, so different seeds
+  must reproduce it bit-identically (a determinism regression check).
+* The many-small-files workload draws sizes and runtimes from the seed;
+  its per-job amortization claim must hold across seeds with modest
+  spread — the conclusion is a property of the system, not of one lucky
+  draw.
+"""
+
+from repro.scenarios import run_fig7, run_smallfiles
+
+
+def test_fig7_deterministic_across_seeds(benchmark):
+    def run():
+        return [run_fig7(seed=seed).upload_seconds for seed in (0, 1)]
+
+    uploads = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert uploads[0] == uploads[1]  # nothing stochastic feeds Figure 7
+
+
+def test_smallfiles_claim_holds_across_seeds(benchmark, save_report):
+    seeds = (0, 1, 2)
+
+    def run():
+        return {seed: run_smallfiles(levels=(4, 8), seed=seed)
+                for seed in seeds}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Many-small-files per-job cost across seeds",
+             "=" * 43,
+             f"{'seed':>5} {'s/job @4':>9} {'s/job @8':>9} {'flat?':>6}"]
+    per_job_values = []
+    for seed, res in sorted(results.items()):
+        p4, p8 = (row["per_job"] for row in res.rows)
+        per_job_values += [p4, p8]
+        flat = "yes" if p8 <= p4 * 1.15 else "NO"
+        lines.append(f"{seed:>5d} {p4:>9.2f} {p8:>9.2f} {flat:>6}")
+    spread = max(per_job_values) - min(per_job_values)
+    lines.append(f"per-job spread over all seeds/levels: {spread:.2f} s")
+    save_report("seed_sensitivity", "\n".join(lines))
+    # The §VIII.B claim holds for every seed.
+    for res in results.values():
+        p4, p8 = (row["per_job"] for row in res.rows)
+        assert p8 <= p4 * 1.15

@@ -1,0 +1,18 @@
+"""SMALL — §VIII.B many-small-files claim.
+
+"the provided solution is quite good in a scenario using a lot of
+relatively small files" — per-job time stays flat as the count grows,
+and is far below the large-file per-job time.
+"""
+
+from repro.scenarios import run_smallfiles
+
+
+def test_many_small_files(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_smallfiles(levels=(4, 8, 16)), rounds=1, iterations=1)
+    save_report("small_files", result.render())
+    per_job = [row["per_job"] for row in result.rows]
+    benchmark.extra_info["per_job_seconds"] = [round(x, 2) for x in per_job]
+    assert per_job[-1] <= per_job[0] * 1.15
+    assert result.large_file_row["makespan"] > 3 * per_job[-1]

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every figure/study benchmark renders its paper-shaped report and saves
+it under ``benchmarks/reports/`` (pytest captures stdout, so files are
+the reliable artefact).  EXPERIMENTS.md points at these reports.
+"""
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> pathlib.Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def save_report(reports_dir):
+    """Write a rendered experiment report to reports/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (reports_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture
+def save_series(reports_dir):
+    """Write figure series to reports/<name>.csv (for external plotting)."""
+
+    def _save(name: str, series_list) -> None:
+        from repro.telemetry import to_csv
+
+        (reports_dir / f"{name}.csv").write_text(to_csv(series_list) + "\n")
+
+    return _save

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A parameter study as a Cyberaide workflow DAG.
+
+The classic e-science experiment shape (paper ref [36], "Experiment and
+Workflow Management Using Cyberaide Shell"):
+
+    prepare ──> run(seed=0..5) ──> (client-side aggregation)
+
+A preparation job runs first; six Monte-Carlo arms then run in parallel
+on the grid; the script aggregates whatever arms survived.  One arm is
+deliberately sabotaged with an impossible walltime to show failure
+isolation: its descendants are poisoned, the rest of the study is
+unaffected.
+
+Run:  python examples/parameter_study_workflow.py
+"""
+
+from repro.cyberaide import (
+    AgentConfig, CyberaideAgent, CyberaideJobSpec, NodeState, Workflow,
+    WorkflowNode, WorkflowRunner,
+)
+from repro.grid import build_testbed
+from repro.units import KB, Mbps, fmt_duration
+from repro.workloads import make_payload
+from repro.ws import SoapFabric, SoapServer, WsClient, generate_stub
+
+
+def main() -> None:
+    testbed = build_testbed(n_sites=2, nodes_per_site=8, cores_per_node=8,
+                            appliance_uplink=Mbps(20))
+    sim = testbed.sim
+    testbed.new_grid_identity("scientist", "pw")
+
+    # Stand up the agent as a web service (the toolkit layer only —
+    # workflows do not need the full onServe SaaS stack).
+    fabric = SoapFabric()
+    server = SoapServer(testbed.appliance_host, fabric)
+    agent = CyberaideAgent(testbed.appliance_host, testbed, AgentConfig())
+    server.deploy(agent.service_description(), agent.handler)
+    stub = generate_stub(server.wsdl(agent.SERVICE_NAME))(
+        WsClient(testbed.appliance_host, fabric))
+
+    # ---- build the DAG ---------------------------------------------------
+    wf = Workflow("pi-study")
+    prepare = make_payload("fixed", size=int(KB(4)), runtime="8",
+                           output_bytes="128")
+    wf.add(WorkflowNode("prepare", CyberaideJobSpec("prepare.bin"), prepare))
+    arm_payload = make_payload("mcpi", size=int(KB(4)),
+                               sec_per_sample="2e-4")
+    for seed in range(6):
+        spec = CyberaideJobSpec("mcpi.bin",
+                                arguments=["80000", str(seed)])
+        wf.add(WorkflowNode(f"run-{seed}", spec, arm_payload,
+                            depends_on=("prepare",)))
+    # Sabotage one arm: a walltime its runtime cannot fit.
+    doomed = CyberaideJobSpec("slow.bin", max_wall_time=30)
+    wf.add(WorkflowNode("run-doomed", doomed,
+                        make_payload("fixed", size=int(KB(1)),
+                                     runtime="500"),
+                        depends_on=("prepare",)))
+    wf.add(WorkflowNode("post-doomed",
+                        CyberaideJobSpec("post.bin"),
+                        make_payload("echo", size=int(KB(1))),
+                        depends_on=("run-doomed",)))
+
+    # ---- run it ------------------------------------------------------------
+    runner = WorkflowRunner(sim, stub, site="ncsa", poll_interval=5.0,
+                            max_node_seconds=120.0)
+    t0 = sim.now
+    sim.run(until=runner.run(wf, "scientist", "pw"))
+    print(f"workflow finished in {fmt_duration(sim.now - t0)} (simulated)")
+    print("node states:", wf.summary())
+
+    estimates = []
+    for name, node in sorted(wf.nodes.items()):
+        if name.startswith("run-") and node.state is NodeState.DONE:
+            value = float(node.output.decode().splitlines()[-1].split("=")[1])
+            estimates.append(value)
+            print(f"  {name}: pi ~ {value:.5f} "
+                  f"(job {node.job_id}, {fmt_duration(node.finished_at - node.started_at)})")
+        elif node.state is not NodeState.DONE:
+            print(f"  {name}: {node.state.value} — {node.error}")
+    mean = sum(estimates) / len(estimates)
+    print(f"surviving arms: {len(estimates)}; aggregate pi ~ {mean:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so the
+PEP 517 editable-install path is unavailable; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

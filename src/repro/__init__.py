@@ -1,0 +1,37 @@
+"""repro — a complete reproduction of "Cyberaide onServe: Software as a
+Service on Production Grids" (ICPP 2010).
+
+The package rebuilds the paper's middleware *and* every substrate it ran
+on, over a deterministic discrete-event simulator.  The three entry
+points most users want:
+
+>>> from repro.grid import build_testbed          # a TeraGrid lookalike
+>>> from repro.core import deploy_onserve         # the virtual appliance
+>>> from repro.core.invocation import discover_and_invoke
+
+See README.md for the quickstart, DESIGN.md for the system inventory,
+and EXPERIMENTS.md for the paper-vs-measured record.
+
+Subpackages
+-----------
+``simkernel``
+    The discrete-event engine everything runs on.
+``hardware`` / ``telemetry``
+    Simulated hosts, disks, networks — and the 3-second sampler that
+    reproduces the paper's monitoring figures.
+``db`` / ``security`` / ``ws`` / ``grid`` / ``appliance`` / ``cyberaide``
+    The substrates: embedded database, simulated GSI, SOAP/WSDL/UDDI
+    stack, the production grid, appliance images, the Cyberaide toolkit.
+``core``
+    The paper's contribution: onServe.
+``workloads`` / ``scenarios``
+    Synthetic executables and the experiment harnesses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simkernel", "hardware", "telemetry", "db", "security", "ws", "grid",
+    "appliance", "cyberaide", "core", "workloads", "scenarios",
+    "errors", "units",
+]

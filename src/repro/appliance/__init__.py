@@ -1,0 +1,15 @@
+"""Virtual appliance: image building and on-demand deployment.
+
+"The Cyberaide onServe is implemented as a virtual appliance which can be
+built on-demand" (paper §I).  :mod:`~repro.appliance.image` is the
+rBuilder stand-in (bundle packages into an image);
+:mod:`~repro.appliance.deploy` models the on-demand deployment: the image
+travels to the target host, lands on its disk, and each bundled package
+boots in order before the appliance reports ready.
+"""
+
+from repro.appliance.deploy import DeployedAppliance, deploy_image
+from repro.appliance.image import ApplianceImage, ImageBuilder, Package
+
+__all__ = ["Package", "ApplianceImage", "ImageBuilder", "deploy_image",
+           "DeployedAppliance"]

@@ -1,0 +1,41 @@
+"""Cyberaide onServe: the paper's contribution.
+
+This package implements the SaaS-to-JSE translation middleware:
+
+* :mod:`~repro.core.datastructures` — executable and generated-service
+  records (the paper's "datastructures" package),
+* :mod:`~repro.core.watchdog` — the "tools" package watchdog (timeouts,
+  tentative polling),
+* :mod:`~repro.core.service_builder` — the ant-build equivalent that
+  turns an uploaded executable into a deployable service archive,
+* :mod:`~repro.core.grid_service` — the GridService template runtime:
+  what the *generated* web service does when its ``execute`` operation
+  is invoked (§VII.B: retrieve, authenticate, upload, describe, submit,
+  poll, return),
+* :mod:`~repro.core.onserve` — the middleware facade + full-stack
+  deployment onto a testbed,
+* :mod:`~repro.core.portal` — the extended Cyberaide portal upload flow
+  (§VII.A, with its faithful double disk write),
+* :mod:`~repro.core.invocation` — the *client-side* workflow: discover
+  in UDDI, fetch WSDL, generate a stub, invoke.
+"""
+
+from repro.core.datastructures import ExecutableRecord, GeneratedService
+from repro.core.invocation import discover_and_invoke
+from repro.core.onserve import OnServe, OnServeConfig, OnServeStack, deploy_onserve
+from repro.core.portal import CyberaidePortal
+from repro.core.service_builder import ServiceBuilder
+from repro.core.watchdog import Watchdog
+
+__all__ = [
+    "ExecutableRecord",
+    "GeneratedService",
+    "Watchdog",
+    "ServiceBuilder",
+    "OnServe",
+    "OnServeConfig",
+    "OnServeStack",
+    "deploy_onserve",
+    "CyberaidePortal",
+    "discover_and_invoke",
+]

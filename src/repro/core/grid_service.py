@@ -1,0 +1,351 @@
+"""The GridService template runtime: what a generated service *does*.
+
+"The GridService 'template-class' contains the code that actually
+initializes the execution of an associated executable on the Grid"
+(paper §VI).  Its ``execute`` operation implements the §VII.B workflow:
+
+1. *File retrieval* — load the executable from the database (CPU peak:
+   "loading and decompressing the file from the database") and store it
+   in a temporary location on the appliance disk.
+2. *Authentication* — establish an agent session (MyProxy logon) unless
+   a fresh one is cached.
+3. *Upload* — push the executable to the chosen site via the agent
+   (GridFTP over the thin WAN uplink: Figure 7's 60-second plateau).
+   Faithfully, the file "will even be reloaded when executed a 2nd
+   time" — no upload cache unless the ablation flag is set.
+4. *Job description generation* — build the RSL from the invocation
+   parameters (second CPU peak: "when the job is being created and
+   submitted").
+5. *Job submission* — through the agent to the gatekeeper.
+6. *Tentative output polling* — the status workaround: on a fixed
+   interval fetch whatever output exists, write it to the local disk
+   (the periodic disk-write peaks of Figures 6-7), and check for the
+   stdout file's existence; finish when it appears.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.datastructures import ExecutableRecord
+from repro.core.watchdog import poll_until
+from repro.cyberaide.jobspec import CyberaideJobSpec
+from repro.errors import InvocationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.onserve import OnServe
+
+__all__ = ["GridServiceRuntime", "InvocationReport"]
+
+
+class InvocationReport:
+    """Timing breakdown of one execute() call (for the benchmarks)."""
+
+    __slots__ = ("service_name", "started_at", "finished_at", "retrieval",
+                 "auth", "upload", "submit", "polling", "polls", "job_id",
+                 "output_bytes", "ok", "error")
+
+    def __init__(self, service_name: str, started_at: float):
+        self.service_name = service_name
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.retrieval = 0.0
+        self.auth = 0.0
+        self.upload = 0.0
+        self.submit = 0.0
+        self.polling = 0.0
+        self.polls = 0
+        self.job_id = ""
+        self.output_bytes = 0
+        self.ok = False
+        self.error = ""
+
+    @property
+    def total(self) -> float:
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def overhead(self) -> float:
+        """Middleware time excluding the grid-side wait (poll phase)."""
+        return self.retrieval + self.auth + self.upload + self.submit
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__} | {
+            "total": self.total, "overhead": self.overhead}
+
+
+class GridServiceRuntime:
+    """The handler behind one generated service."""
+
+    def __init__(self, onserve: "OnServe", record: ExecutableRecord):
+        self.onserve = onserve
+        self.record = record
+        self.sim = onserve.sim
+        self._session: Optional[str] = None
+        self._session_expires = 0.0
+        #: Event shared by callers waiting on an in-flight authentication
+        #: (prevents a thundering herd of MyProxy logons).
+        self._auth_pending = None
+        self._rr_cursor = 0
+        #: Asynchronous invocations in flight: ticket -> background process.
+        self._tickets: Dict[str, Any] = {}
+        #: One report per execute() call, in order.
+        self.reports: List[InvocationReport] = []
+
+    # -- the SOAP handler -----------------------------------------------------
+
+    def handler(self, operation: str, params: Dict[str, Any]):
+        if operation == "describe":
+            return self._describe()
+        if operation == "execute":
+            return self._execute(params)
+        if operation == "submit":
+            return self._submit_async(params)
+        if operation == "poll":
+            return self._poll_async(params["ticket"])
+        if operation == "result":
+            return self._result_async(params["ticket"])
+        raise InvocationError(f"generated service has no operation "
+                              f"{operation!r}")  # unreachable via SOAP
+
+    # -- asynchronous invocation (submit / poll / result) ----------------------
+
+    def _submit_async(self, params: Dict[str, Any]
+                      ) -> Generator[Event, None, str]:
+        """Start the execute pipeline in the background; return a ticket."""
+        yield self.onserve.host.compute(0.002, tag="service")
+        ticket = f"tkt-{self.record.name}-{len(self._tickets) + 1:05d}"
+        proc = self.sim.process(self._execute(params),
+                                name=f"async:{ticket}")
+        # Failures are delivered through result(), not as stray crashes.
+        proc.add_callback(lambda ev: ev.defused() if not ev._ok else None)
+        self._tickets[ticket] = proc
+        return ticket
+
+    def _poll_async(self, ticket: str) -> Generator[Event, None, bool]:
+        yield self.onserve.host.compute(0.001, tag="service")
+        return self._ticket(ticket).triggered
+
+    def _result_async(self, ticket: str) -> Generator[Event, None, str]:
+        yield self.onserve.host.compute(0.001, tag="service")
+        proc = self._ticket(ticket)
+        if not proc.triggered:
+            raise InvocationError(
+                f"ticket {ticket!r} is still running (poll first)")
+        del self._tickets[ticket]
+        if not proc.ok:
+            raise InvocationError(
+                f"ticket {ticket!r} failed: {proc.value}")
+        return proc.value
+
+    def _ticket(self, ticket: str):
+        proc = self._tickets.get(ticket)
+        if proc is None:
+            raise InvocationError(f"unknown ticket {ticket!r}")
+        return proc
+
+    def _describe(self) -> Generator[Event, None, str]:
+        yield self.onserve.host.compute(0.001, tag="service")
+        return self.record.description or self.record.name
+
+    # -- §VII.B: the execute workflow -----------------------------------------------
+
+    def _execute(self, params: Dict[str, Any]) -> Generator[Event, None, str]:
+        cfg = self.onserve.config
+        host = self.onserve.host
+        report = InvocationReport(self.record.name, self.sim.now)
+        self.reports.append(report)
+        held_bytes = 0  # RAM held for the in-flight payload
+        try:
+            # 1. File retrieval: DB load + temp copy on local disk.  The
+            #    decompressed payload sits in RAM until staged to the grid.
+            mark = self.sim.now
+            exe = yield self.onserve.dbmanager.load_executable(self.record.name)
+            host.allocate_memory(exe.size)
+            held_bytes = exe.size
+            yield host.disk_write(exe.size)  # "stored in a temporary location"
+            report.retrieval = self.sim.now - mark
+
+            # 2. Authentication through the agent (cached while fresh).
+            mark = self.sim.now
+            session = yield from self._ensure_session()
+            report.auth = self.sim.now - mark
+
+            # Pick a site (resource selection via the information service).
+            sites = yield self.onserve.agent_stub.listSites()
+            site = self._choose_site(sites.split(",") if sites else [])
+
+            # Build the job spec from the declared parameters, in order.
+            arguments = [_argument(params[p.name]) for p in self.record.params]
+            tag = self.onserve.new_job_tag()
+            spec = CyberaideJobSpec(
+                self.record.name, arguments=arguments,
+                count=cfg.default_count,
+                max_wall_time=cfg.default_walltime,
+                queue=cfg.default_queue)
+
+            # 3. Upload the executable to the site (re-uploaded every
+            #    time unless the upload-cache ablation is on).
+            mark = self.sim.now
+            staged = spec.staged_path()
+            if not (cfg.upload_cache and
+                    self.onserve.is_staged(site, staged, exe.payload)):
+                yield self.onserve.agent_stub.uploadExecutable(
+                    session=session, site=site, path=staged,
+                    data=exe.payload)
+                self.onserve.mark_staged(site, staged, exe.payload)
+            # The buffer is staged (or cached); it can be collected now.
+            host.release_memory(held_bytes)
+            held_bytes = 0
+            report.upload = self.sim.now - mark
+
+            # 4.+5. Job description generation + submission.
+            mark = self.sim.now
+            yield host.compute(cfg.submit_cpu, tag="service")
+            rsl = spec.to_rsl(job_tag=tag)
+            job_id = yield self.onserve.agent_stub.submitJob(
+                session=session, site=site, rsl=rsl)
+            report.job_id = job_id
+            report.submit = self.sim.now - mark
+
+            # 6. Wait for completion.
+            mark = self.sim.now
+            output = yield from self._await_output(session, site, spec,
+                                                   tag, job_id, report)
+            report.polling = self.sim.now - mark
+            report.output_bytes = len(output)
+            report.ok = True
+            try:
+                return output.decode("utf-8")
+            except UnicodeDecodeError:
+                return f"(binary output, {len(output)} bytes)"
+        except Exception as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            if held_bytes:
+                host.release_memory(held_bytes)
+            report.finished_at = self.sim.now
+            from repro.core.datastructures import service_name_for
+            self.onserve.record_invocation(
+                service_name_for(self.record.name), report)
+
+    def _choose_site(self, sites: List[str]) -> str:
+        """Apply the configured site-selection policy.
+
+        The agent's listing is already MDS-ranked (most free cores
+        first), so "best" is simply the head of the list.
+        """
+        sites = [s for s in sites if s]
+        if not sites:
+            raise InvocationError("no grid site available")
+        policy = self.onserve.config.site_policy
+        if policy == "round_robin":
+            # Rotate over a *stable* ordering, not the load-ranked one.
+            ordered = sorted(sites)
+            site = ordered[self._rr_cursor % len(ordered)]
+            self._rr_cursor += 1
+            return site
+        if policy == "random":
+            rng = self.sim.rng.stream(f"site-policy:{self.record.name}")
+            return rng.choice(sorted(sites))
+        return sites[0]
+
+    def _ensure_session(self) -> Generator[Event, None, str]:
+        cfg = self.onserve.config
+        while True:
+            if (self._session is not None
+                    and self.sim.now < self._session_expires):
+                return self._session
+            if self._auth_pending is not None:
+                # Someone else is already logging on; piggyback on it.
+                yield self._auth_pending
+                continue
+            self._auth_pending = self.sim.event("auth-pending")
+            try:
+                self._session = yield self.onserve.agent_stub.authenticate(
+                    username=cfg.grid_username,
+                    passphrase=cfg.grid_passphrase)
+                # Renew well before the delegated proxy actually expires.
+                self._session_expires = self.sim.now + cfg.session_renewal
+            finally:
+                pending, self._auth_pending = self._auth_pending, None
+                pending.succeed()
+            return self._session
+
+    def _await_output(self, session: str, site: str, spec: CyberaideJobSpec,
+                      tag: str, job_id: str, report: InvocationReport
+                      ) -> Generator[Event, None, bytes]:
+        """Completion detection, with and without the status workaround."""
+        cfg = self.onserve.config
+        host = self.onserve.host
+        stub = self.onserve.agent_stub
+
+        if cfg.status_supported:
+            # Ablation: clean status polling, output fetched exactly once.
+            def status_poll():
+                return stub.jobStatus(session=session, site=site, jobId=job_id)
+
+            (state, polls) = yield poll_until(
+                self.sim,
+                poll_factory=status_poll,
+                accept=lambda s: s in ("done", "failed", "canceled"),
+                interval=cfg.poll_interval,
+                timeout=cfg.watchdog_timeout)
+            report.polls = polls
+            if state != "done":
+                raise InvocationError(f"grid job {job_id} ended {state}")
+            output = yield stub.fetchOutput(session=session, site=site,
+                                            jobId=job_id)
+            yield host.disk_write(len(output))
+            return output
+
+        # Faithful workaround: tentatively fetch output every interval,
+        # writing each (partial) result to local disk, until the stdout
+        # file exists on the grid.
+        stdout_path = spec.stdout_path(tag)
+        collected: Dict[str, bytes] = {"data": b""}
+
+        def poll():
+            def round_trip() -> Generator[Event, None, bool]:
+                data = yield stub.fetchOutput(session=session, site=site,
+                                              jobId=job_id)
+                collected["data"] = data
+                if data:
+                    # "the output of the running job is written to the
+                    # hard disk" — every poll, the periodic write peaks.
+                    yield host.disk_write(len(data))
+                ready = yield stub.outputReady(session=session, site=site,
+                                               path=stdout_path)
+                return ready
+
+            return self.sim.process(round_trip(), name="tentative-poll")
+
+        (_ready, polls) = yield poll_until(
+            self.sim,
+            poll_factory=poll,
+            accept=lambda ready: bool(ready),
+            interval=cfg.poll_interval,
+            timeout=cfg.watchdog_timeout)
+        report.polls = polls
+        # The last tentative fetch may predate completion; fetch final.
+        output = yield stub.fetchOutput(session=session, site=site,
+                                        jobId=job_id)
+        yield host.disk_write(len(output))
+        if output and set(output) == {0}:
+            raise InvocationError(
+                f"grid job {job_id} produced no final output "
+                f"(failed on the grid?)")
+        return output
+
+
+def _argument(value: Any) -> str:
+    """SOAP value -> RSL argument string."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, bytes):
+        raise InvocationError("binary parameters cannot become RSL arguments")
+    return str(value)

@@ -1,0 +1,73 @@
+"""The client-side invocation workflow (§VII.B, steps 1-2).
+
+"First of all, the user examines the jUDDI registry to find the
+appropriate service.  Once the service has been discovered, a Web
+service client may be created by using the corresponding WSDL document."
+
+:func:`discover_and_invoke` performs exactly that: a *real* SOAP call to
+the registry's inquiry service, WSDL fetch, ``wsimport``-style stub
+generation, and the ``execute`` call — all from the user's host, with
+every message travelling the simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING, Tuple
+
+from repro.errors import ServiceNotFound
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+from repro.ws.client import WsClient, generate_stub
+from repro.ws.uddi_service import (
+    UddiInquiryService, parse_binding_lines, parse_service_lines,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.onserve import OnServeStack
+
+__all__ = ["discover_service", "discover_and_invoke"]
+
+
+def discover_service(stack: "OnServeStack", client: WsClient,
+                     name_pattern: str) -> Process:
+    """UDDI inquiry from the client's host (over real SOAP).
+
+    The process-event's value is ``(service_name, endpoint,
+    wsdl_location)`` of the best (first) match.
+    """
+    inquiry_endpoint = stack.soap_server.endpoint_for(
+        UddiInquiryService.SERVICE_NAME)
+
+    def op() -> Generator[Event, None, Tuple[str, str, str]]:
+        listing = yield client.call(inquiry_endpoint, "findService",
+                                    pattern=name_pattern)
+        hits = parse_service_lines(listing)
+        if not hits:
+            raise ServiceNotFound(
+                f"UDDI has no service matching {name_pattern!r}")
+        service = hits[0]
+        raw = yield client.call(inquiry_endpoint, "getBindings",
+                                serviceKey=service["key"])
+        bindings = parse_binding_lines(raw)
+        if not bindings:
+            raise ServiceNotFound(
+                f"UDDI service {service['name']!r} has no binding")
+        return (service["name"], bindings[0]["access_point"],
+                bindings[0]["wsdl_location"])
+
+    return client.sim.process(op(), name=f"discover:{name_pattern}")
+
+
+def discover_and_invoke(stack: "OnServeStack", client: WsClient,
+                        name_pattern: str, **params: Any) -> Process:
+    """The full §VII.B client workflow; the value is execute()'s result."""
+
+    def op() -> Generator[Event, None, str]:
+        _name, endpoint, _wsdl_loc = yield discover_service(
+            stack, client, name_pattern)
+        document = yield client.fetch_wsdl(endpoint)
+        stub = generate_stub(document)(client)
+        result = yield stub.execute(**params)
+        return result
+
+    return client.sim.process(op(), name=f"invoke:{name_pattern}")

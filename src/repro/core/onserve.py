@@ -1,0 +1,425 @@
+"""The OnServe middleware facade and full-stack deployment.
+
+:class:`OnServe` ties the appliance components together: the database
+(executable storage), the service builder, the SOAP server, the UDDI
+registry and the Cyberaide agent.  Its :meth:`~OnServe.generate_service`
+implements §VII.A's "further treatment" (storage, service build,
+publishing); the generated services themselves run
+:class:`~repro.core.grid_service.GridServiceRuntime`.
+
+:func:`deploy_onserve` is the on-demand story of §V: build the appliance
+image, deploy it onto the testbed's appliance host, boot the packages,
+wire up every component, enrol the grid identity — and hand back a
+ready-to-use :class:`OnServeStack`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Generator, List, Optional
+
+from repro.appliance.deploy import DeployedAppliance, deploy_image
+from repro.appliance.image import ImageBuilder, ONSERVE_PACKAGES
+from repro.core.datastructures import (
+    ExecutableRecord, GeneratedService, parse_params_spec, service_name_for,
+)
+from repro.core.grid_service import GridServiceRuntime
+from repro.core.service_builder import ServiceBuilder
+from repro.cyberaide.agent import AgentConfig, CyberaideAgent
+from repro.db.dbmanager import DbManager
+from repro.errors import OnServeError, ServiceNotFound, UploadError
+from repro.grid.testbed import Testbed
+from repro.hardware.host import Host
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+from repro.ws.client import WsClient, generate_stub
+from repro.ws.server import SoapFabric, SoapServer
+from repro.ws.uddi import UddiRegistry
+
+__all__ = ["OnServeConfig", "OnServe", "OnServeStack", "deploy_onserve"]
+
+
+class OnServeConfig:
+    """All tunables of the middleware (ablation flags included)."""
+
+    def __init__(self,
+                 grid_username: str = "onserve",
+                 grid_passphrase: str = "appliance-secret",
+                 poll_interval: float = 9.0,
+                 watchdog_timeout: float = 6 * 3600.0,
+                 default_queue: str = "normal",
+                 default_walltime: int = 3600,
+                 default_count: int = 1,
+                 submit_cpu: float = 0.25,
+                 session_renewal: float = 3600.0,
+                 portal_cpu_fixed: float = 0.15,
+                 portal_cpu_per_mb: float = 0.01,
+                 form_overhead_bytes: int = 2048,
+                 double_write: bool = True,
+                 upload_cache: bool = False,
+                 status_supported: bool = False,
+                 site_policy: str = "best"):
+        if site_policy not in ("best", "round_robin", "random"):
+            raise OnServeError(f"unknown site policy {site_policy!r}")
+        self.grid_username = grid_username
+        self.grid_passphrase = grid_passphrase
+        #: Tentative-poll period (the "relative constant interval").
+        self.poll_interval = poll_interval
+        self.watchdog_timeout = watchdog_timeout
+        self.default_queue = default_queue
+        self.default_walltime = default_walltime
+        self.default_count = default_count
+        #: CPU for RSL generation + submission bookkeeping (2nd CPU peak).
+        self.submit_cpu = submit_cpu
+        self.session_renewal = session_renewal
+        self.portal_cpu_fixed = portal_cpu_fixed
+        self.portal_cpu_per_mb = portal_cpu_per_mb
+        self.form_overhead_bytes = form_overhead_bytes
+        #: Faithful flaw: uploads hit the disk twice (temp, then DB).
+        #: False is the "may be improved" ablation (§VIII.D.3).
+        self.double_write = double_write
+        #: Faithful flaw: executables re-upload on every invocation.
+        #: True caches staged files per site (ablation).
+        self.upload_cache = upload_cache
+        #: Faithful flaw: agent job status unavailable -> tentative
+        #: output polling.  True is the clean-status ablation.
+        self.status_supported = status_supported
+        #: Resource selection: "best" (most free cores, the MDS
+        #: ranking), "round_robin", or "random" (seeded).
+        self.site_policy = site_policy
+
+
+class OnServe:
+    """The middleware running inside the appliance."""
+
+    BUSINESS_NAME = "Cyberaide onServe"
+
+    def __init__(self, host: Host, soap_server: SoapServer,
+                 fabric: SoapFabric, uddi: UddiRegistry,
+                 dbmanager: DbManager, agent: CyberaideAgent,
+                 config: Optional[OnServeConfig] = None):
+        self.host = host
+        self.sim = host.sim
+        self.soap_server = soap_server
+        self.fabric = fabric
+        self.uddi = uddi
+        self.dbmanager = dbmanager
+        self.agent = agent
+        self.config = config or OnServeConfig()
+        self.builder = ServiceBuilder(host, soap_server)
+        # The wsimport-generated client for the agent: onServe talks to
+        # its own agent through the web-service interface (paper §VI,
+        # "client" package), over the loopback path.
+        wsdl = soap_server.wsdl(CyberaideAgent.SERVICE_NAME)
+        self.agent_stub = generate_stub(wsdl)(WsClient(host, fabric))
+        # UDDI anchors.
+        self.business = uddi.save_business(
+            self.BUSINESS_NAME, "SaaS on production grids")
+        self.tmodel = uddi.save_tmodel(
+            "onserve:grid-execution",
+            overview_url=f"soap://{host.name}/onserve-docs")
+        self.services: Dict[str, GeneratedService] = {}
+        self.runtimes: Dict[str, GridServiceRuntime] = {}
+        self._staged: Dict[tuple, str] = {}
+        # Durable invocation history (queried by the management API).
+        from repro.db.table import Column
+        if "invocations" not in self.dbmanager.db.tables:
+            self.dbmanager.db.create_table("invocations", [
+                Column("id", "INT", primary_key=True),
+                Column("service", "TEXT", nullable=False),
+                Column("job_id", "TEXT"),
+                Column("started_at", "REAL", nullable=False),
+                Column("total", "REAL", nullable=False),
+                Column("overhead", "REAL", nullable=False),
+                Column("polls", "INT", nullable=False),
+                Column("ok", "INT", nullable=False),
+                Column("error", "TEXT"),
+            ])
+            self.dbmanager.db.create_index("invocations", "service", "hash")
+        # Resume numbering after recovered history (appliance restarts).
+        from repro.db.sql import execute_sql
+        row = execute_sql(self.dbmanager.db,
+                          "SELECT MAX(id) FROM invocations")[0]
+        self._invocation_counter = row["max(id)"] or 0
+        # Job tags must stay unique across appliance restarts — a reused
+        # tag would alias an old stdout file on the grid and fool the
+        # outputReady probe.
+        self._tag_seq = self._invocation_counter
+
+    # -- upload cache (ablation support) ---------------------------------------
+
+    @staticmethod
+    def _digest(payload: bytes) -> str:
+        return hashlib.sha256(payload).hexdigest()
+
+    def is_staged(self, site: str, path: str, payload: bytes) -> bool:
+        return self._staged.get((site, path)) == self._digest(payload)
+
+    def mark_staged(self, site: str, path: str, payload: bytes) -> None:
+        self._staged[(site, path)] = self._digest(payload)
+
+    # -- §VII.A "further treatment" -----------------------------------------------
+
+    def generate_service(self, name: str, payload: bytes,
+                         description: str = "", params_spec: str = "",
+                         uploaded_by: str = "portal") -> Process:
+        """Store the executable, build+deploy its service, publish it.
+
+        The process-event's value is the :class:`GeneratedService`.
+        Re-uploading an existing executable *replaces the file* but keeps
+        the already-published service (the paper's re-upload semantics).
+        """
+
+        def op() -> Generator[Event, None, GeneratedService]:
+            if not payload:
+                raise UploadError(f"executable {name!r} is empty")
+            params = parse_params_spec(params_spec)
+
+            service_name = service_name_for(name)
+            existing = self.services.get(service_name)
+            if existing is not None and existing.executable_name != name:
+                # "hello.sh" and "hello.py" would both become
+                # HelloService — refuse instead of silently aliasing.
+                raise UploadError(
+                    f"executable {name!r} would collide with service "
+                    f"{service_name!r} (owned by "
+                    f"{existing.executable_name!r})")
+
+            # Storage: the executable lands in the database.
+            yield self.dbmanager.store_executable(
+                name, payload, description=description,
+                params_spec=params_spec)
+
+            if existing is not None:
+                # Replacement upload: same service, new bytes.  Drop any
+                # staged copies so the next invocation ships the update.
+                path_suffix = f"/{name}"
+                self._staged = {key: digest
+                                for key, digest in self._staged.items()
+                                if not key[1].endswith(path_suffix)}
+                return existing
+
+            # Service build + publication.
+            record = ExecutableRecord(name, description, params,
+                                      size=len(payload),
+                                      uploaded_by=uploaded_by,
+                                      uploaded_at=self.sim.now)
+            service = yield from self._build_and_publish(record)
+            return service
+
+        return self.sim.process(op(), name=f"generate:{name}")
+
+    def _build_and_publish(self, record: ExecutableRecord):
+        """Build the service archive, deploy it, publish it in UDDI.
+
+        A generator meant to be delegated to (``yield from``) inside a
+        simulation process; returns the :class:`GeneratedService`.
+        """
+        service_name = service_name_for(record.name)
+        runtime = GridServiceRuntime(self, record)
+        endpoint, archive = yield self.builder.build_and_deploy(
+            record, runtime.handler)
+        yield self.host.compute(0.02, tag="uddi")
+        entry = self.uddi.save_service(
+            self.business.key, service_name, record.description)
+        binding = self.uddi.save_binding(
+            entry.key, access_point=endpoint,
+            wsdl_location=endpoint + "?wsdl",
+            tmodel_key=self.tmodel.key)
+        service = GeneratedService(
+            service_name=service_name,
+            executable_name=record.name,
+            endpoint=endpoint,
+            wsdl_location=binding.wsdl_location,
+            uddi_service_key=entry.key,
+            uddi_binding_key=binding.key,
+            archive_size=len(archive),
+            created_at=self.sim.now)
+        self.services[service_name] = service
+        self.runtimes[service_name] = runtime
+        return service
+
+    def restore_services(self) -> Process:
+        """Regenerate every service from the executables table.
+
+        The appliance-restart story: after a crash, the database (WAL
+        recovery) still holds every uploaded executable, but the SOAP
+        container and UDDI registry start empty.  This replays the
+        service build for each stored executable so the published
+        surface comes back without any re-upload.  The process-event's
+        value is the list of restored service names.
+        """
+
+        def op() -> Generator[Event, None, List[str]]:
+            restored: List[str] = []
+            for row in self.dbmanager.list_executables():
+                service_name = service_name_for(row["name"])
+                if service_name in self.services:
+                    continue
+                record = ExecutableRecord(
+                    row["name"], row["description"],
+                    parse_params_spec(row["params_spec"]),
+                    size=row["size"], uploaded_by="restore",
+                    uploaded_at=row["stored_at"])
+                service = yield from self._build_and_publish(record)
+                restored.append(service.service_name)
+            return restored
+
+        return self.sim.process(op(), name="restore-services")
+
+    def new_job_tag(self) -> str:
+        """A per-invocation tag unique across restarts (stdout naming)."""
+        self._tag_seq += 1
+        return f"i{self._tag_seq:06d}"
+
+    # -- invocation history ---------------------------------------------------
+
+    def record_invocation(self, service_name: str, report) -> None:
+        """Persist one execute() report (bookkeeping; no simulated cost —
+        the row rides along the WAL writes already charged elsewhere)."""
+        self._invocation_counter += 1
+        svc = self.services.get(service_name)
+        if svc is not None:
+            svc.invocations += 1
+        self.dbmanager.db.insert("invocations", [
+            self._invocation_counter,
+            service_name,
+            report.job_id,
+            report.started_at,
+            report.total,
+            report.overhead,
+            report.polls,
+            1 if report.ok else 0,
+            report.error,
+        ])
+
+    def usage_report(self) -> List[Dict[str, object]]:
+        """Per-service usage aggregates from the history table."""
+        from repro.db.sql import execute_sql
+        return execute_sql(
+            self.dbmanager.db,
+            "SELECT service, COUNT(*), SUM(ok), AVG(total), AVG(overhead), "
+            "SUM(polls) FROM invocations GROUP BY service")
+
+    # -- management ---------------------------------------------------------------
+
+    def get_service(self, service_name: str) -> GeneratedService:
+        try:
+            return self.services[service_name]
+        except KeyError:
+            raise ServiceNotFound(
+                f"onServe has no service {service_name!r}") from None
+
+    def list_services(self) -> List[GeneratedService]:
+        return [self.services[k] for k in sorted(self.services)]
+
+    def undeploy_service(self, service_name: str) -> Process:
+        """Remove a generated service everywhere (SOAP, UDDI, DB)."""
+        service = self.get_service(service_name)
+
+        def op() -> Generator[Event, None, None]:
+            self.soap_server.undeploy(service_name)
+            self.uddi.delete_service(service.uddi_service_key)
+            yield self.dbmanager.delete_executable(service.executable_name)
+            del self.services[service_name]
+            del self.runtimes[service_name]
+
+        return self.sim.process(op(), name=f"undeploy:{service_name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<OnServe services={sorted(self.services)}>"
+
+
+class OnServeStack:
+    """Everything a deployed onServe brings up, in one handle."""
+
+    def __init__(self, testbed: Testbed, appliance: DeployedAppliance,
+                 fabric: SoapFabric, soap_server: SoapServer,
+                 uddi: UddiRegistry, dbmanager: DbManager,
+                 agent: CyberaideAgent, onserve: OnServe,
+                 user_clients: List[WsClient]):
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.appliance = appliance
+        self.fabric = fabric
+        self.soap_server = soap_server
+        self.uddi = uddi
+        self.dbmanager = dbmanager
+        self.agent = agent
+        self.onserve = onserve
+        self.user_clients = user_clients
+
+    @property
+    def portal(self):
+        from repro.core.portal import CyberaidePortal
+        if not hasattr(self, "_portal"):
+            self._portal = CyberaidePortal(self.onserve)
+        return self._portal
+
+    @property
+    def appliance_host(self) -> Host:
+        return self.testbed.appliance_host
+
+
+def deploy_onserve(testbed: Testbed,
+                   config: Optional[OnServeConfig] = None,
+                   dbmanager: Optional[DbManager] = None) -> Process:
+    """Deploy the whole onServe stack onto *testbed* (a sim process).
+
+    The process-event's value is an :class:`OnServeStack`.  Passing a
+    *dbmanager* (e.g. one recovered with
+    :meth:`~repro.db.dbmanager.DbManager.recover_from_crash`) redeploys
+    an appliance over existing data: every stored executable's service
+    is rebuilt and republished automatically.
+    """
+    config = config or OnServeConfig()
+    sim = testbed.sim
+
+    def op() -> Generator[Event, None, OnServeStack]:
+        # 1. Build the appliance image (the rBuilder step).
+        builder = ImageBuilder()
+        for package in ONSERVE_PACKAGES():
+            builder.provide(package)
+        image = builder.build("cyberaide-onserve", ["cyberaide-onserve"])
+
+        # 2. On-demand deployment onto the appliance host.
+        appliance = yield deploy_image(image, testbed.appliance_host)
+
+        # 3. Wire the software stack.
+        fabric = SoapFabric()
+        soap_server = SoapServer(testbed.appliance_host, fabric)
+        uddi = UddiRegistry()
+        db = dbmanager if dbmanager is not None \
+            else DbManager(testbed.appliance_host)
+        agent = CyberaideAgent(
+            testbed.appliance_host, testbed,
+            AgentConfig(status_supported=config.status_supported))
+        soap_server.deploy(agent.service_description(), agent.handler)
+
+        # 4. Enrol the appliance's grid identity (certificate -> MyProxy
+        #    -> gridmaps), the once-per-user out-of-band step.
+        testbed.new_grid_identity(config.grid_username,
+                                  config.grid_passphrase)
+
+        onserve = OnServe(testbed.appliance_host, soap_server, fabric,
+                          uddi, db, agent, config)
+
+        # Publish the registry's inquiry API and the management API as
+        # web services of their own (jUDDI inquiry / portal management).
+        from repro.core.management import ManagementService
+        from repro.ws.uddi_service import UddiInquiryService
+        inquiry = UddiInquiryService(uddi)
+        soap_server.deploy(inquiry.service_description(), inquiry.handler)
+        management = ManagementService(onserve)
+        soap_server.deploy(management.service_description(),
+                           management.handler)
+
+        user_clients = [WsClient(host, fabric)
+                        for host in testbed.user_hosts]
+        if dbmanager is not None:
+            # Redeployment over recovered data: bring the services back.
+            yield onserve.restore_services()
+        return OnServeStack(testbed, appliance, fabric, soap_server, uddi,
+                            db, agent, onserve, user_clients)
+
+    return sim.process(op(), name="deploy-onserve")

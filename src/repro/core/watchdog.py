@@ -1,0 +1,108 @@
+"""The watchdog from onServe's "tools" package.
+
+"The 'tools' package contains tools like a watchdog class, that is used
+to react correctly in some situations where a problem may occur. (For
+example when a process takes too long to complete.)" (paper §VI).
+
+Two tools live here:
+
+* :meth:`Watchdog.guard` — run a process under a deadline; if it is
+  still alive when the deadline passes, interrupt it and raise
+  :class:`~repro.errors.WatchdogTimeout` in the waiter.
+* :func:`poll_until` — the tentative-polling loop (§VIII.B workaround):
+  run a poll action every ``interval`` until a predicate accepts its
+  result or the deadline passes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Tuple
+
+from repro.errors import WatchdogTimeout
+from repro.simkernel.events import Event
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.process import Process
+
+__all__ = ["Watchdog", "poll_until"]
+
+
+class Watchdog:
+    """Deadline enforcement for simulation processes."""
+
+    def __init__(self, sim: Simulator, timeout: float):
+        if timeout <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.sim = sim
+        self.timeout = timeout
+        self.timeouts_fired = 0
+
+    def guard(self, victim: Process, label: str = "") -> Process:
+        """Wait on *victim* with a deadline.
+
+        Returns a process whose value is the victim's value; raises
+        :class:`WatchdogTimeout` (after interrupting the victim) if the
+        deadline passes first.
+        """
+
+        def op() -> Generator[Event, None, Any]:
+            deadline = self.sim.timeout(self.timeout)
+            outcome = yield self.sim.any_of([victim, deadline])
+            if victim in outcome:
+                return victim.value
+            self.timeouts_fired += 1
+            if victim.is_alive:
+                victim.interrupt("watchdog deadline")
+
+                # Absorb the interrupted victim's termination so its
+                # failure is not re-raised as unhandled.
+                def _absorb(event: Event) -> None:
+                    if not event._ok:
+                        event.defused()
+
+                victim.add_callback(_absorb)
+            raise WatchdogTimeout(
+                f"{label or 'operation'} exceeded {self.timeout:.0f}s")
+
+        return self.sim.process(op(), name=f"watchdog:{label}")
+
+
+def poll_until(sim: Simulator,
+               poll_factory: Callable[[], Process],
+               accept: Callable[[Any], bool],
+               interval: float,
+               timeout: float,
+               on_result: Optional[Callable[[Any], Optional[Process]]] = None
+               ) -> Process:
+    """Poll on a fixed interval until *accept* likes a result.
+
+    Each round runs ``poll_factory()`` and passes the result to
+    *accept*; between rounds it sleeps *interval*.  ``on_result`` (if
+    given) runs after every poll — it may return a process to wait on
+    (e.g. "write what we fetched to disk", producing the periodic
+    disk-write peaks of Figures 6-7).  Raises
+    :class:`WatchdogTimeout` when *timeout* elapses first.
+
+    The value is ``(result, polls)``.
+    """
+    if interval <= 0:
+        raise ValueError("poll interval must be positive")
+
+    def op() -> Generator[Event, None, Tuple[Any, int]]:
+        deadline = sim.now + timeout
+        polls = 0
+        while True:
+            result = yield poll_factory()
+            polls += 1
+            if on_result is not None:
+                side_effect = on_result(result)
+                if side_effect is not None:
+                    yield side_effect
+            if accept(result):
+                return result, polls
+            if sim.now >= deadline:
+                raise WatchdogTimeout(
+                    f"tentative polling gave up after {polls} polls "
+                    f"({timeout:.0f}s)")
+            yield sim.timeout(interval)
+
+    return sim.process(op(), name="poll-until")

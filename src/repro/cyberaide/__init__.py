@@ -1,0 +1,37 @@
+"""The Cyberaide toolkit layer: agent, mediator, job abstraction, shell.
+
+Cyberaide is the "light weight middleware for accessing production
+Grids" (paper §III) that onServe builds on.  The central piece is the
+:class:`~repro.cyberaide.agent.CyberaideAgent`: a web service exposing
+grid functions (authenticate, upload, submit, output) as web methods —
+onServe talks to it through a wsimport-generated client, exactly as the
+paper's "client" package does.
+
+The agent deliberately reproduces the paper's limitation: job *status*
+is not retrievable through it by default ("some features provided by the
+Cyberaide toolkit didn't work as expected", §VIII.B), forcing the
+tentative output polling the evaluation's disk traces show.  Flip
+``status_supported=True`` for the ablation that quantifies the waste.
+"""
+
+from repro.cyberaide.agent import AgentConfig, CyberaideAgent
+from repro.cyberaide.jobspec import CyberaideJobSpec
+from repro.cyberaide.mediator import Mediator, Task, TaskState
+from repro.cyberaide.shell import CyberaideShell
+from repro.cyberaide.workflow import (
+    NodeState, Workflow, WorkflowNode, WorkflowRunner,
+)
+
+__all__ = [
+    "CyberaideAgent",
+    "AgentConfig",
+    "CyberaideJobSpec",
+    "Mediator",
+    "Task",
+    "TaskState",
+    "CyberaideShell",
+    "Workflow",
+    "WorkflowNode",
+    "WorkflowRunner",
+    "NodeState",
+]

@@ -1,0 +1,221 @@
+"""The Cyberaide agent: grid functions exposed as web methods.
+
+"To create and submit the job to the Grid, Cyberaide agent methods are
+used.  The Cyberaide agent is a Web service and exposes its functions as
+Web methods." (paper §VI).  The agent deploys into a
+:class:`~repro.ws.server.SoapServer`; callers use a wsimport-generated
+stub (see :func:`repro.ws.client.generate_stub`).
+
+Faithful limitation: ``jobStatus`` raises unless
+``AgentConfig.status_supported`` is set — the paper's workaround section
+explains that status "can't be retrieved" through the agent, so clients
+must "request the output tentatively" (``fetchOutput`` + ``outputReady``,
+which checks for the stdout file on the grid instead of asking the LRM).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.errors import AuthenticationFailed, GridError
+from repro.grid.testbed import Testbed
+from repro.hardware.host import Host
+from repro.security.x509 import Certificate
+from repro.simkernel.events import Event
+from repro.ws.registryapi import OperationSpec, ParameterSpec, ServiceDescription
+
+__all__ = ["AgentConfig", "CyberaideAgent", "AgentSession"]
+
+
+class AgentConfig:
+    """Behaviour switches of the agent."""
+
+    def __init__(self, status_supported: bool = False,
+                 default_proxy_lifetime: float = 12 * 3600.0,
+                 session_cpu: float = 0.01):
+        #: The paper's workaround: False means jobStatus raises and
+        #: clients must poll output tentatively.  True is the ablation.
+        self.status_supported = status_supported
+        self.default_proxy_lifetime = default_proxy_lifetime
+        #: CPU charged per agent call for session bookkeeping.
+        self.session_cpu = session_cpu
+
+
+class AgentSession:
+    """An authenticated session holding a delegated proxy chain."""
+
+    __slots__ = ("session_id", "username", "chain", "expires_at")
+
+    def __init__(self, session_id: str, username: str,
+                 chain: List[Certificate], expires_at: float):
+        self.session_id = session_id
+        self.username = username
+        self.chain = chain
+        self.expires_at = expires_at
+
+
+class CyberaideAgent:
+    """Grid access functions, deployable as a SOAP service."""
+
+    SERVICE_NAME = "CyberaideAgent"
+
+    def __init__(self, host: Host, testbed: Testbed,
+                 config: Optional[AgentConfig] = None):
+        self.host = host
+        self.sim = host.sim
+        self.testbed = testbed
+        self.config = config or AgentConfig()
+        self._sessions: Dict[str, AgentSession] = {}
+        self._counter = itertools.count(1)
+        #: Experiment counters.
+        self.uploads = 0
+        self.submissions = 0
+        self.output_polls = 0
+
+    # -- service wiring ------------------------------------------------------
+
+    def service_description(self) -> ServiceDescription:
+        s = "xsd:string"
+        return ServiceDescription(self.SERVICE_NAME, [
+            OperationSpec("authenticate",
+                          [ParameterSpec("username", s),
+                           ParameterSpec("passphrase", s)], s),
+            OperationSpec("listSites", [], s),
+            OperationSpec("uploadExecutable",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("path", s),
+                           ParameterSpec("data", "xsd:base64Binary")],
+                          "xsd:int"),
+            OperationSpec("submitJob",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("rsl", s)], s),
+            OperationSpec("jobStatus",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("jobId", s)], s),
+            OperationSpec("cancelJob",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("jobId", s)], "xsd:boolean"),
+            OperationSpec("outputReady",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("path", s)], "xsd:boolean"),
+            OperationSpec("fetchOutput",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("jobId", s)], "xsd:base64Binary"),
+            OperationSpec("fetchFile",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("path", s)], "xsd:base64Binary"),
+        ], documentation="Cyberaide agent: production-grid access functions")
+
+    def handler(self, operation: str, params: Dict[str, Any]):
+        """SOAP handler entry point (a generator per request)."""
+        method = getattr(self, f"_op_{operation}", None)
+        if method is None:  # unreachable via SOAP (specs gate operations)
+            raise GridError(f"agent has no operation {operation!r}")
+        return method(**params)
+
+    # -- operations ---------------------------------------------------------------
+
+    def _op_authenticate(self, username: str, passphrase: str
+                         ) -> Generator[Event, None, str]:
+        yield self.host.compute(self.config.session_cpu, tag="agent")
+        key, proxy, ee = yield self.testbed.myproxy.logon(
+            self.host, username, passphrase,
+            lifetime=self.config.default_proxy_lifetime)
+        session_id = f"sess-{next(self._counter):06d}"
+        self._sessions[session_id] = AgentSession(
+            session_id, username, [proxy, ee], proxy.not_after)
+        return session_id
+
+    def _op_listSites(self) -> Generator[Event, None, str]:
+        yield self.host.compute(self.config.session_cpu, tag="agent")
+        sites = self.testbed.mds.query(min_free_cores=0)
+        return ",".join(s.name for s in sites)
+
+    def _op_uploadExecutable(self, session: str, site: str, path: str,
+                             data: bytes) -> Generator[Event, None, int]:
+        sess = self._session(session)
+        ftp = self._ftp(site)
+        n = yield ftp.put(self.host, sess.chain, path, data)
+        self.uploads += 1
+        return n
+
+    def _op_submitJob(self, session: str, site: str,
+                      rsl: str) -> Generator[Event, None, str]:
+        sess = self._session(session)
+        gram = self._gram(site)
+        job_id = yield gram.submit(self.host, sess.chain, rsl)
+        self.submissions += 1
+        return job_id
+
+    def _op_jobStatus(self, session: str, site: str,
+                      jobId: str) -> Generator[Event, None, str]:
+        self._session(session)
+        if not self.config.status_supported:
+            # The paper's workaround made concrete: this path is broken.
+            raise GridError(
+                "job status is not retrievable through the Cyberaide agent "
+                "(known limitation); poll output tentatively instead")
+        state = yield self._gram(site).status(self.host, jobId)
+        return state.value
+
+    def _op_cancelJob(self, session: str, site: str,
+                      jobId: str) -> Generator[Event, None, bool]:
+        self._session(session)
+        result = yield self._gram(site).cancel(self.host, jobId)
+        return result
+
+    def _op_outputReady(self, session: str, site: str,
+                        path: str) -> Generator[Event, None, bool]:
+        sess = self._session(session)
+        gram = self._gram(site)
+        # A control-channel existence probe on the grid filesystem — the
+        # legitimate way around the missing status call.
+        yield self.host.send(gram.host, 512, label="exists-probe")
+        exists = self._ftp(site).exists(path)
+        yield gram.host.send(self.host, 128, label="exists-answer")
+        return exists
+
+    def _op_fetchOutput(self, session: str, site: str,
+                        jobId: str) -> Generator[Event, None, bytes]:
+        self._session(session)
+        data = yield self._gram(site).fetch_output(self.host, jobId)
+        self.output_polls += 1
+        return data
+
+    def _op_fetchFile(self, session: str, site: str,
+                      path: str) -> Generator[Event, None, bytes]:
+        sess = self._session(session)
+        data = yield self._ftp(site).get(self.host, sess.chain, path)
+        return data
+
+    # -- internals ---------------------------------------------------------------
+
+    def _session(self, session_id: str) -> AgentSession:
+        sess = self._sessions.get(session_id)
+        if sess is None:
+            raise AuthenticationFailed(f"no such agent session {session_id!r}")
+        if self.sim.now > sess.expires_at:
+            del self._sessions[session_id]
+            raise AuthenticationFailed(
+                f"agent session {session_id!r} expired (proxy lifetime)")
+        return sess
+
+    def _gram(self, site: str):
+        try:
+            return self.testbed.gatekeepers[site]
+        except KeyError:
+            raise GridError(f"no gatekeeper for site {site!r}") from None
+
+    def _ftp(self, site: str):
+        try:
+            return self.testbed.ftp_servers[site]
+        except KeyError:
+            raise GridError(f"no GridFTP server for site {site!r}") from None

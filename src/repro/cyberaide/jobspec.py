@@ -1,0 +1,62 @@
+"""High-level job specification: what users mean, before RSL exists."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import RslError
+from repro.grid.rsl import JobDescription, generate_rsl
+
+__all__ = ["CyberaideJobSpec"]
+
+#: Where staged executables live on a site's storage area.
+SCRATCH_PREFIX = "/scratch/cyberaide"
+
+
+class CyberaideJobSpec:
+    """A user-level job: executable name + arguments + sizing.
+
+    :meth:`to_rsl` performs the "job description generation" step of the
+    invocation workflow (§VII.B): the staged path is derived from the
+    executable name, stdout gets a per-job file, and sizing defaults are
+    applied.
+    """
+
+    def __init__(self, executable_name: str,
+                 arguments: Sequence[str] = (),
+                 count: int = 1,
+                 max_wall_time: int = 3600,
+                 queue: str = "normal",
+                 project: str = ""):
+        if not executable_name or "/" in executable_name:
+            raise RslError(f"bad executable name {executable_name!r}")
+        self.executable_name = executable_name
+        self.arguments = [str(a) for a in arguments]
+        self.count = count
+        self.max_wall_time = max_wall_time
+        self.queue = queue
+        self.project = project
+
+    def staged_path(self) -> str:
+        return f"{SCRATCH_PREFIX}/{self.executable_name}"
+
+    def stdout_path(self, job_tag: str) -> str:
+        return f"{SCRATCH_PREFIX}/{self.executable_name}.{job_tag}.out"
+
+    def to_description(self, job_tag: str) -> JobDescription:
+        return JobDescription(
+            executable=self.staged_path(),
+            arguments=self.arguments,
+            count=self.count,
+            max_wall_time=self.max_wall_time,
+            queue=self.queue,
+            stdout=self.stdout_path(job_tag),
+            project=self.project,
+        )
+
+    def to_rsl(self, job_tag: str) -> str:
+        return generate_rsl(self.to_description(job_tag))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<CyberaideJobSpec {self.executable_name!r} "
+                f"args={self.arguments}>")

@@ -1,0 +1,336 @@
+"""The database engine: tables + indexes + WAL + transactions.
+
+Concurrency model: single writer, serialized transactions (matching the
+way onServe's DbManager used its MySQL connection).  Every mutation is
+logged to the write-ahead log *before* being applied, so a crash at any
+byte boundary recovers to the last committed transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DatabaseError, RecordNotFound, TransactionError
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.table import Column, HeapTable, Schema
+from repro.db.wal import WriteAheadLog
+
+__all__ = ["Database"]
+
+Predicate = Callable[[Dict[str, Any]], bool]
+
+
+class Database:
+    """An embedded single-writer relational database."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.tables: Dict[str, HeapTable] = {}
+        self._indexes: Dict[Tuple[str, str], Any] = {}
+        self._txn_counter = itertools.count(1)
+        self._active_txn: Optional[int] = None
+        self._undo: List[Tuple] = []
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> None:
+        """Create a table (autocommitted DDL)."""
+        if name in self.tables:
+            raise DatabaseError(f"table {name!r} already exists")
+        schema = Schema(columns)
+        self.wal.append((
+            "create_table", name,
+            [[c.name, c.type, int(c.nullable), int(c.primary_key)]
+             for c in schema.columns],
+        ))
+        self.tables[name] = HeapTable(name, schema)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and its indexes (autocommitted DDL)."""
+        self._table(name)  # existence check
+        self.wal.append(("drop_table", name))
+        del self.tables[name]
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def create_index(self, table: str, column: str, kind: str = "hash") -> None:
+        """Create (and backfill) a secondary index on table.column."""
+        tbl = self._table(table)
+        tbl.schema.index_of(column)  # validates the column exists
+        if (table, column) in self._indexes:
+            raise DatabaseError(f"index on {table}.{column} already exists")
+        if kind == "hash":
+            index: Any = HashIndex(table, column)
+        elif kind == "sorted":
+            index = SortedIndex(table, column)
+        else:
+            raise DatabaseError(f"unknown index kind {kind!r}")
+        self.wal.append(("create_index", table, column, kind))
+        col_pos = tbl.schema.index_of(column)
+        for rowid, row in tbl.scan():
+            index.add(row[col_pos], rowid)
+        self._indexes[(table, column)] = index
+
+    # ------------------------------------------------------------ transactions
+
+    def begin(self) -> int:
+        """Start an explicit transaction; returns its id."""
+        if self._active_txn is not None:
+            raise TransactionError("a transaction is already active")
+        txn = next(self._txn_counter)
+        self._active_txn = txn
+        self._undo = []
+        self.wal.append(("begin", txn))
+        return txn
+
+    def commit(self) -> None:
+        """Commit the active transaction."""
+        if self._active_txn is None:
+            raise TransactionError("no active transaction")
+        self.wal.append(("commit", self._active_txn))
+        self._active_txn = None
+        self._undo = []
+
+    def rollback(self) -> None:
+        """Abort the active transaction, undoing its changes in memory."""
+        if self._active_txn is None:
+            raise TransactionError("no active transaction")
+        self.wal.append(("abort", self._active_txn))
+        for entry in reversed(self._undo):
+            op = entry[0]
+            if op == "insert":
+                _, table, rowid = entry
+                row = self.tables[table].delete(rowid)
+                self._index_remove(table, rowid, row)
+            elif op == "delete":
+                _, table, rowid, old = entry
+                self.tables[table].restore(rowid, old)
+                self._index_add(table, rowid, old)
+            elif op == "update":
+                _, table, rowid, old, new = entry
+                self.tables[table].update(rowid, old)
+                self._index_remove(table, rowid, new)
+                self._index_add(table, rowid, old)
+        self._active_txn = None
+        self._undo = []
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on success, rollback on error."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
+    def _txn_scope(self):
+        """Implicit autocommit wrapper for single statements."""
+        if self._active_txn is not None:
+            return _null_context()
+        return self.transaction()
+
+    # ------------------------------------------------------------------ DML
+
+    def insert(self, table: str, row: Sequence[Any]) -> int:
+        """Insert *row* into *table*, returning the new rowid."""
+        tbl = self._table(table)
+        with self._txn_scope():
+            rowid = tbl.insert(row)
+            stored = tbl.get(rowid)
+            self.wal.append(("insert", self._active_txn, table, rowid,
+                             list(stored)))
+            self._undo.append(("insert", table, rowid))
+            self._index_add(table, rowid, stored)
+        return rowid
+
+    def delete_where(self, table: str, predicate: Optional[Predicate] = None) -> int:
+        """Delete matching rows; returns the count removed."""
+        tbl = self._table(table)
+        victims = [rowid for rowid, row in tbl.scan()
+                   if predicate is None or predicate(self._as_dict(tbl, row))]
+        with self._txn_scope():
+            for rowid in victims:
+                old = tbl.delete(rowid)
+                self.wal.append(("delete", self._active_txn, table, rowid,
+                                 list(old)))
+                self._undo.append(("delete", table, rowid, old))
+                self._index_remove(table, rowid, old)
+        return len(victims)
+
+    def update_where(self, table: str,
+                     updates: Dict[str, Any],
+                     predicate: Optional[Predicate] = None) -> int:
+        """Set columns on matching rows; returns the count changed."""
+        tbl = self._table(table)
+        positions = {col: tbl.schema.index_of(col) for col in updates}
+        targets = [rowid for rowid, row in tbl.scan()
+                   if predicate is None or predicate(self._as_dict(tbl, row))]
+        with self._txn_scope():
+            for rowid in targets:
+                old = tbl.get(rowid)
+                new = list(old)
+                for col, value in updates.items():
+                    new[positions[col]] = value
+                tbl.update(rowid, new)
+                stored = tbl.get(rowid)
+                self.wal.append(("update", self._active_txn, table, rowid,
+                                 list(old), list(stored)))
+                self._undo.append(("update", table, rowid, old, stored))
+                self._index_remove(table, rowid, old)
+                self._index_add(table, rowid, stored)
+        return len(targets)
+
+    # ---------------------------------------------------------------- queries
+
+    def select(self, table: str, predicate: Optional[Predicate] = None,
+               columns: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Rows (as dicts) matching *predicate*, optionally projected."""
+        tbl = self._table(table)
+        out = []
+        for _rowid, row in tbl.scan():
+            record = self._as_dict(tbl, row)
+            if predicate is None or predicate(record):
+                if columns is not None:
+                    record = {c: record[c] for c in columns}
+                out.append(record)
+        return out
+
+    def find_eq(self, table: str, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Equality lookup, via index when one exists."""
+        tbl = self._table(table)
+        index = self._indexes.get((table, column))
+        if isinstance(index, HashIndex):
+            rowids = sorted(index.find(value))
+            return [self._as_dict(tbl, tbl.get(r)) for r in rowids]
+        col_pos = tbl.schema.index_of(column)
+        return [self._as_dict(tbl, row) for _r, row in tbl.scan()
+                if row[col_pos] == value]
+
+    def get_by_pk(self, table: str, key: Any) -> Dict[str, Any]:
+        """Primary-key point lookup."""
+        tbl = self._table(table)
+        if tbl.schema.primary_key is None:
+            raise DatabaseError(f"table {table!r} has no primary key")
+        rowid = tbl.lookup_pk(key)
+        if rowid is None:
+            raise RecordNotFound(f"{table}: no row with pk {key!r}")
+        return self._as_dict(tbl, tbl.get(rowid))
+
+    def count(self, table: str) -> int:
+        return len(self._table(table))
+
+    # ----------------------------------------------------------- persistence
+
+    def checkpoint(self) -> None:
+        """Compact the WAL: rewrite it as a snapshot of current state."""
+        if self._active_txn is not None:
+            raise TransactionError("cannot checkpoint inside a transaction")
+        self.wal.reset()
+        for name, tbl in self.tables.items():
+            self.wal.append((
+                "create_table", name,
+                [[c.name, c.type, int(c.nullable), int(c.primary_key)]
+                 for c in tbl.schema.columns],
+            ))
+        for (table, column), index in self._indexes.items():
+            kind = "hash" if isinstance(index, HashIndex) else "sorted"
+            self.wal.append(("create_index", table, column, kind))
+        txn = next(self._txn_counter)
+        self.wal.append(("begin", txn))
+        for name, tbl in self.tables.items():
+            for rowid, row in tbl.scan():
+                self.wal.append(("insert", txn, name, rowid, list(row)))
+        self.wal.append(("commit", txn))
+
+    @classmethod
+    def recover(cls, wal_image: bytes) -> "Database":
+        """Rebuild a database from a WAL image (crash recovery).
+
+        DDL is replayed unconditionally; DML only for transactions whose
+        commit record survives.
+        """
+        log = WriteAheadLog(wal_image)
+        records = list(log.records())
+        committed: Set[int] = {r[1] for r in records if r[0] == "commit"}
+
+        db = cls(wal=WriteAheadLog())
+        max_txn = 0
+        for record in records:
+            op = record[0]
+            if op == "create_table":
+                _, name, cols = record
+                columns = [Column(n, t, nullable=bool(nl), primary_key=bool(pk))
+                           for n, t, nl, pk in cols]
+                db.create_table(name, columns)
+            elif op == "drop_table":
+                if record[1] in db.tables:
+                    db.drop_table(record[1])
+            elif op == "create_index":
+                _, table, column, kind = record
+                if (table, column) not in db._indexes and table in db.tables:
+                    db.create_index(table, column, kind)
+            elif op in ("begin", "commit", "abort"):
+                max_txn = max(max_txn, record[1])
+            elif op == "insert":
+                _, txn, table, rowid, values = record
+                max_txn = max(max_txn, txn)
+                if txn in committed and table in db.tables:
+                    tbl = db.tables[table]
+                    tbl.restore(rowid, tbl.schema.validate_row(values))
+                    db._index_add(table, rowid, tuple(values))
+            elif op == "delete":
+                _, txn, table, rowid, _old = record
+                max_txn = max(max_txn, txn)
+                if txn in committed and table in db.tables:
+                    old = db.tables[table].delete(rowid)
+                    db._index_remove(table, rowid, old)
+            elif op == "update":
+                _, txn, table, rowid, old, new = record
+                max_txn = max(max_txn, txn)
+                if txn in committed and table in db.tables:
+                    db.tables[table].update(rowid, new)
+                    db._index_remove(table, rowid, tuple(old))
+                    db._index_add(table, rowid, tuple(new))
+        db._txn_counter = itertools.count(max_txn + 1)
+        # The recovered database starts a fresh log reflecting its state.
+        db.checkpoint()
+        return db
+
+    # ----------------------------------------------------------------- internals
+
+    def _table(self, name: str) -> HeapTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DatabaseError(f"no such table {name!r}") from None
+
+    @staticmethod
+    def _as_dict(tbl: HeapTable, row: Tuple[Any, ...]) -> Dict[str, Any]:
+        return dict(zip(tbl.schema.names(), row))
+
+    def _index_add(self, table: str, rowid: int, row: Tuple[Any, ...]) -> None:
+        tbl = self.tables[table]
+        for (tname, column), index in self._indexes.items():
+            if tname == table:
+                index.add(row[tbl.schema.index_of(column)], rowid)
+
+    def _index_remove(self, table: str, rowid: int, row: Tuple[Any, ...]) -> None:
+        tbl = self.tables.get(table)
+        if tbl is None:
+            return
+        for (tname, column), index in self._indexes.items():
+            if tname == table:
+                index.remove(row[tbl.schema.index_of(column)], rowid)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Database tables={sorted(self.tables)}>"
+
+
+@contextmanager
+def _null_context():
+    yield

@@ -1,0 +1,46 @@
+"""The simulated production grid (TeraGrid stand-in).
+
+Production grids "employ a Job-Submission-Execution (JSE) model" behind
+"rigid access interfaces" (paper §I, §II.B).  This package reproduces
+that world:
+
+* :mod:`repro.grid.rsl` — the job description language users must write,
+* :mod:`repro.grid.job` — job records and their state machine,
+* :mod:`repro.grid.scheduler` — a FIFO + conservative-backfill batch
+  scheduler with walltime enforcement,
+* :mod:`repro.grid.node` / :mod:`repro.grid.site` — compute nodes and
+  sites (head node, storage area, local resource manager),
+* :mod:`repro.grid.gram` — the K-GRAM gatekeeper (submit/poll/cancel,
+  GSI-authenticated),
+* :mod:`repro.grid.gridftp` — bandwidth-limited file transfer,
+* :mod:`repro.grid.mds` — the information/discovery service,
+* :mod:`repro.grid.testbed` — a TeraGrid-like multi-site testbed factory.
+
+The interfaces are deliberately *rigid*: the only way in is a job
+description through the gatekeeper, exactly the constraint onServe's
+SaaS-to-JSE translation exists to bridge.
+"""
+
+from repro.grid.gram import GramGatekeeper
+from repro.grid.gridftp import GridFtpServer
+from repro.grid.job import GridJob, JobState
+from repro.grid.mds import InformationService
+from repro.grid.rsl import JobDescription, generate_rsl, parse_rsl
+from repro.grid.scheduler import BatchScheduler
+from repro.grid.site import GridSite
+from repro.grid.testbed import Testbed, build_testbed
+
+__all__ = [
+    "JobDescription",
+    "parse_rsl",
+    "generate_rsl",
+    "GridJob",
+    "JobState",
+    "BatchScheduler",
+    "GridSite",
+    "GramGatekeeper",
+    "GridFtpServer",
+    "InformationService",
+    "Testbed",
+    "build_testbed",
+]

@@ -1,0 +1,125 @@
+"""Grid accounting: usage records in the embedded database.
+
+Production grids bill allocations in core-hours; every site reports
+terminated jobs to an accounting service (think TeraGrid's AMIE feeds).
+This one stores records in the :mod:`repro.db` engine and answers usage
+questions with real SQL — including the aggregate queries a resource
+provider actually runs.
+
+Wire it up with :meth:`AccountingService.attach`: it hooks the site's
+job completion path, so every terminal job lands in the ledger with its
+owner, core count and occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.db.engine import Database
+from repro.db.sql import execute_sql
+from repro.db.table import Column
+from repro.errors import GridError
+from repro.grid.job import GridJob, JobState
+from repro.grid.site import GridSite
+
+__all__ = ["AccountingService"]
+
+_SCHEMA = [
+    Column("job_id", "TEXT", primary_key=True),
+    Column("site", "TEXT", nullable=False),
+    Column("owner", "TEXT", nullable=False),
+    Column("queue", "TEXT", nullable=False),
+    Column("cores", "INT", nullable=False),
+    Column("state", "TEXT", nullable=False),
+    Column("submitted_at", "REAL", nullable=False),
+    Column("started_at", "REAL"),
+    Column("finished_at", "REAL"),
+    Column("core_seconds", "REAL", nullable=False),
+]
+
+
+class AccountingService:
+    """A usage ledger shared by any number of sites."""
+
+    TABLE = "usage"
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db if db is not None else Database()
+        if self.TABLE not in self.db.tables:
+            self.db.create_table(self.TABLE, _SCHEMA)
+            self.db.create_index(self.TABLE, "owner", "hash")
+            self.db.create_index(self.TABLE, "site", "hash")
+        self._attached: set[str] = set()
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, site: GridSite) -> None:
+        """Record every job *site* finishes from now on."""
+        if site.name in self._attached:
+            raise GridError(f"accounting already attached to {site.name!r}")
+        self._attached.add(site.name)
+        original_run_job = site.run_job
+
+        def run_job_with_accounting(job: GridJob):
+            done = original_run_job(job)
+            done.add_callback(
+                lambda event: self.record(site.name, event.value))
+            return done
+
+        site.run_job = run_job_with_accounting  # type: ignore[method-assign]
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, site_name: str, job: GridJob) -> None:
+        """Insert one terminal job into the ledger."""
+        if not job.is_terminal:
+            raise GridError(f"job {job.job_id} is not terminal")
+        occupancy = 0.0
+        if job.started_at is not None and job.finished_at is not None:
+            occupancy = job.finished_at - job.started_at
+        self.db.insert(self.TABLE, [
+            job.job_id,
+            site_name,
+            job.owner,
+            job.description.queue,
+            job.description.count,
+            job.state.value,
+            job.history[JobState.UNSUBMITTED],
+            job.started_at,
+            job.finished_at,
+            occupancy * job.description.count,
+        ])
+
+    # -- queries (real SQL) -------------------------------------------------------
+
+    def total_jobs(self) -> int:
+        rows = execute_sql(self.db, "SELECT COUNT(*) FROM usage")
+        return rows[0]["count(*)"]
+
+    def core_seconds_by_owner(self) -> Dict[str, float]:
+        rows = execute_sql(
+            self.db,
+            "SELECT owner, SUM(core_seconds) FROM usage GROUP BY owner")
+        return {r["owner"]: r["sum(core_seconds)"] or 0.0 for r in rows}
+
+    def jobs_by_state(self) -> Dict[str, int]:
+        rows = execute_sql(
+            self.db, "SELECT state, COUNT(*) FROM usage GROUP BY state")
+        return {r["state"]: r["count(*)"] for r in rows}
+
+    def site_report(self, site_name: str) -> Dict[str, Any]:
+        safe = site_name.replace("'", "''")
+        rows = execute_sql(
+            self.db,
+            f"SELECT COUNT(*), SUM(core_seconds), MAX(cores) FROM usage "
+            f"WHERE site = '{safe}'")
+        row = rows[0]
+        return {
+            "site": site_name,
+            "jobs": row["count(*)"],
+            "core_seconds": row["sum(core_seconds)"] or 0.0,
+            "widest_job": row["max(cores)"],
+        }
+
+    def records_for(self, owner: str) -> List[Dict[str, Any]]:
+        return self.db.find_eq(self.TABLE, "owner", owner)

@@ -1,0 +1,132 @@
+"""K-GRAM: the gatekeeper — the grid's rigid job-submission interface.
+
+Everything enters the site through here: an authenticated ``submit``
+carrying an RSL string, plus ``status`` / ``cancel`` / ``fetch_output``.
+The interface is deliberately narrow (the JSE model): no service
+deployment, no custom environments — exactly the constraint that makes
+onServe's translation layer necessary.
+
+The paper notes "K-GRAM permits to submit a large number of jobs quite
+efficiently" (§VIII.B): submission here is a short control exchange plus
+an authentication, independent of executable size (staging is GridFTP's
+job), which is why many-small-jobs workloads amortize well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Sequence
+
+from repro.errors import SubmissionRefused
+from repro.grid.job import JobState
+from repro.grid.rsl import parse_rsl
+from repro.grid.site import GridSite
+from repro.hardware.host import Host
+from repro.security.gsi import GsiAcceptor
+from repro.security.x509 import Certificate
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+
+__all__ = ["GramGatekeeper"]
+
+
+class GramGatekeeper:
+    """The GRAM endpoint of one grid site."""
+
+    #: Control bytes for a submit exchange (RSL travels inside).
+    SUBMIT_OVERHEAD_BYTES = 1536
+    #: Control bytes for status/cancel/poll exchanges.
+    POLL_BYTES = 768
+    #: Head-node CPU per request (authorization, RSL handling, LRM talk).
+    REQUEST_CPU = 0.05
+
+    def __init__(self, site: GridSite):
+        self.site = site
+        self.sim = site.sim
+        self.host = site.head
+        self.submissions = 0
+        self.refusals = 0
+        #: job_id -> completion event (fires with the terminal job).
+        self._completions: Dict[str, Event] = {}
+
+    # -- operations (all simulation processes) ------------------------------
+
+    def submit(self, client: Host, chain: Sequence[Certificate],
+               rsl_text: str) -> Process:
+        """Submit a job described by *rsl_text*; value is the job id."""
+
+        def op() -> Generator[Event, None, str]:
+            handshake = GsiAcceptor.handshake_bytes(chain)
+            yield client.send(
+                self.host,
+                handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
+                label="gram-submit")
+            try:
+                ctx = self.site.acceptor.accept(chain, self.sim.now)
+                description = parse_rsl(rsl_text)
+            except Exception:
+                self.refusals += 1
+                yield self.host.send(client, 512, label="gram-refused")
+                raise
+            yield self.host.compute(self.REQUEST_CPU, tag="gram")
+            job = self.site.create_job(description, owner=ctx.subject)
+            done = self.site.run_job(job)
+            self._completions[job.job_id] = done
+            self.submissions += 1
+            yield self.host.send(client, 512, label="gram-handle")
+            return job.job_id
+
+        return self.sim.process(op(), name="gram-submit")
+
+    def status(self, client: Host, job_id: str) -> Process:
+        """Query a job's state; value is the :class:`JobState`."""
+
+        def op() -> Generator[Event, None, JobState]:
+            yield client.send(self.host, self.POLL_BYTES, label="gram-status")
+            yield self.host.compute(0.005, tag="gram")
+            job = self.site.get_job(job_id)
+            yield self.host.send(client, 256, label="gram-status-rsp")
+            return job.state
+
+        return self.sim.process(op(), name=f"gram-status:{job_id}")
+
+    def cancel(self, client: Host, job_id: str) -> Process:
+        """Cancel a queued/running job; value is True."""
+
+        def op() -> Generator[Event, None, bool]:
+            yield client.send(self.host, self.POLL_BYTES, label="gram-cancel")
+            yield self.host.compute(0.01, tag="gram")
+            self.site.cancel_job(job_id)
+            yield self.host.send(client, 256, label="gram-cancel-rsp")
+            return True
+
+        return self.sim.process(op(), name=f"gram-cancel:{job_id}")
+
+    def fetch_output(self, client: Host, job_id: str) -> Process:
+        """Fetch whatever output exists *now* (the tentative poll).
+
+        For a running job this transfers the partial placeholder bytes;
+        for a DONE job, the real output.  The value is the bytes read.
+        This is the operation the watchdog repeats on a fixed interval
+        because job status "can't be retrieved" through the agent
+        (§VIII.B) — each call costs a disk read at the site and a
+        transfer back, producing the periodic write peaks in Figs 6-7.
+        """
+
+        def op() -> Generator[Event, None, bytes]:
+            yield client.send(self.host, self.POLL_BYTES, label="gram-output")
+            data = self.site.partial_output(job_id)
+            if data:
+                yield self.host.disk_read(len(data))
+            yield self.host.send(client, max(len(data), 128),
+                                 label="gram-output-rsp")
+            return data
+
+        return self.sim.process(op(), name=f"gram-output:{job_id}")
+
+    def completion_event(self, job_id: str) -> Event:
+        """The event that fires when *job_id* reaches a terminal state."""
+        try:
+            return self._completions[job_id]
+        except KeyError:
+            raise SubmissionRefused(
+                f"gatekeeper has no record of job {job_id!r}") from None

@@ -1,0 +1,139 @@
+"""GridFTP: authenticated, bandwidth-limited file transfer to a site.
+
+Every operation is a simulation process: the GSI handshake bytes and the
+file bytes travel over the (typically slow WAN) path to the site's head
+node, then land on its disk.  The ~60-second, 80-90 KB/s upload plateau
+in Figure 7 is exactly a ``put`` through a thin uplink.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.errors import TransferError
+from repro.grid.site import GridSite
+from repro.hardware.host import Host
+from repro.security.gsi import GsiAcceptor
+from repro.security.x509 import Certificate
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+
+__all__ = ["GridFtpServer"]
+
+
+class GridFtpServer:
+    """The file-transfer endpoint of one grid site."""
+
+    #: Control-channel bytes per operation (commands + replies).
+    CONTROL_BYTES = 2048
+    #: CPU seconds per MB for checksumming/marshalling on the head node.
+    CPU_PER_MB = 0.02
+
+    def __init__(self, site: GridSite):
+        self.site = site
+        self.sim = site.sim
+        self.host = site.head
+        self.transfers_in = 0
+        self.transfers_out = 0
+
+    def _authenticate(self, chain: Sequence[Certificate]) -> None:
+        # GSI mutual auth against the site's acceptor; raises on failure.
+        self.site.acceptor.accept(chain, self.sim.now)
+
+    def put(self, client: Host, chain: Sequence[Certificate],
+            path: str, data: bytes, streams: int = 1) -> Process:
+        """Upload *data* to *path* in the site storage area.
+
+        *streams* opens that many parallel data connections (GridFTP's
+        ``-p``).  Alone on a link it changes nothing; under contention
+        each stream claims its own fair share, so a multi-stream
+        transfer outruns single-stream competitors — exactly why the
+        option exists.
+        """
+        if streams < 1:
+            raise TransferError("streams must be >= 1")
+
+        def op() -> Generator[Event, None, int]:
+            handshake = GsiAcceptor.handshake_bytes(chain)
+            yield client.send(self.host,
+                              handshake + streams * self.CONTROL_BYTES,
+                              label="gridftp-ctl")
+            self._authenticate(chain)
+            if streams == 1:
+                yield client.send(self.host, len(data),
+                                  label=f"gridftp-put:{path}")
+            else:
+                chunk = len(data) // streams
+                sizes = [chunk] * (streams - 1)
+                sizes.append(len(data) - chunk * (streams - 1))
+                yield self.sim.all_of([
+                    client.send(self.host, size,
+                                label=f"gridftp-put:{path}#{i}")
+                    for i, size in enumerate(sizes)])
+            yield self.host.compute(
+                self.CPU_PER_MB * len(data) / (1024 * 1024), tag="gridftp")
+            yield self.host.disk_write(len(data))
+            self.site.store_file(path, data)
+            self.transfers_in += 1
+            return len(data)
+
+        return self.sim.process(op(), name=f"gridftp-put:{path}")
+
+    def get(self, client: Host, chain: Sequence[Certificate],
+            path: str) -> Process:
+        """Download *path* from the site storage area."""
+        def op() -> Generator[Event, None, bytes]:
+            handshake = GsiAcceptor.handshake_bytes(chain)
+            yield client.send(self.host, handshake + self.CONTROL_BYTES,
+                              label="gridftp-ctl")
+            self._authenticate(chain)
+            if not self.site.has_file(path):
+                raise TransferError(f"{self.site.name}: no such file {path!r}")
+            data = self.site.read_file(path)
+            yield self.host.disk_read(len(data))
+            yield self.host.send(client, len(data), label=f"gridftp-get:{path}")
+            self.transfers_out += 1
+            return data
+
+        return self.sim.process(op(), name=f"gridftp-get:{path}")
+
+    def third_party_transfer(self, client: Host,
+                             chain: Sequence[Certificate],
+                             src_path: str, dest: "GridFtpServer",
+                             dst_path: str) -> Process:
+        """Site-to-site transfer directed by a third party.
+
+        The client authenticates to both ends over control channels; the
+        data moves directly between the site head nodes (never through
+        the client) — the classic GridFTP third-party mode that makes
+        staging between centres practical over thin client links.
+        """
+
+        def op() -> Generator[Event, None, int]:
+            handshake = GsiAcceptor.handshake_bytes(chain)
+            # Control channels to both ends.
+            yield client.send(self.host, handshake + self.CONTROL_BYTES,
+                              label="gridftp-3pt-src")
+            self._authenticate(chain)
+            yield client.send(dest.host, handshake + dest.CONTROL_BYTES,
+                              label="gridftp-3pt-dst")
+            dest._authenticate(chain)
+            if not self.site.has_file(src_path):
+                raise TransferError(
+                    f"{self.site.name}: no such file {src_path!r}")
+            data = self.site.read_file(src_path)
+            yield self.host.disk_read(len(data))
+            # Data channel: head node to head node.
+            yield self.host.send(dest.host, len(data),
+                                 label=f"gridftp-3pt:{src_path}")
+            yield dest.host.disk_write(len(data))
+            dest.site.store_file(dst_path, data)
+            self.transfers_out += 1
+            dest.transfers_in += 1
+            return len(data)
+
+        return self.sim.process(op(), name=f"gridftp-3pt:{src_path}")
+
+    def exists(self, path: str) -> bool:
+        """Control-channel existence check (no data transfer modelled)."""
+        return self.site.has_file(path)

@@ -1,0 +1,108 @@
+"""Compute nodes: core bookkeeping for the batch scheduler."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GridError
+
+__all__ = ["ComputeNode", "NodePool"]
+
+
+class ComputeNode:
+    """One machine in a site's compute partition."""
+
+    __slots__ = ("name", "cores", "free_cores", "speed_factor")
+
+    def __init__(self, name: str, cores: int, speed_factor: float = 1.0):
+        if cores < 1:
+            raise GridError(f"node {name!r}: cores must be >= 1")
+        if speed_factor <= 0:
+            raise GridError(f"node {name!r}: speed_factor must be positive")
+        self.name = name
+        self.cores = cores
+        self.free_cores = cores
+        self.speed_factor = speed_factor
+
+    def allocate(self, n: int) -> None:
+        if n > self.free_cores:
+            raise GridError(f"node {self.name!r}: cannot allocate {n} cores "
+                            f"({self.free_cores} free)")
+        self.free_cores -= n
+
+    def release(self, n: int) -> None:
+        if self.free_cores + n > self.cores:
+            raise GridError(f"node {self.name!r}: releasing {n} cores "
+                            f"would exceed capacity")
+        self.free_cores += n
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<ComputeNode {self.name} {self.free_cores}/{self.cores} free>"
+
+
+class NodePool:
+    """A set of nodes with greedy cross-node allocation.
+
+    Jobs may span nodes (``count`` is a total core count), matching how
+    MPI jobs are placed on clusters.
+    """
+
+    def __init__(self, nodes: List[ComputeNode]):
+        if not nodes:
+            raise GridError("a node pool needs at least one node")
+        self.nodes = list(nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(n.free_cores for n in self.nodes)
+
+    def allocate(self, cores: int) -> List[tuple]:
+        """Greedily allocate *cores* across nodes.
+
+        Returns the placement as ``[(node, cores_taken), ...]``; raises
+        :class:`GridError` (leaving nothing allocated) if the pool cannot
+        satisfy the request.
+        """
+        if cores < 1:
+            raise GridError(f"cannot allocate {cores} cores")
+        if cores > self.free_cores:
+            raise GridError(
+                f"pool has {self.free_cores} free cores, need {cores}")
+        placement = []
+        remaining = cores
+        for node in self.nodes:
+            if remaining == 0:
+                break
+            take = min(node.free_cores, remaining)
+            if take > 0:
+                node.allocate(take)
+                placement.append((node, take))
+                remaining -= take
+        return placement
+
+    def release(self, placement: List[tuple]) -> None:
+        for node, taken in placement:
+            node.release(taken)
+
+    def remove_node(self, node: ComputeNode) -> None:
+        """Take a node out of the pool (hardware failure/maintenance).
+
+        The node must be idle — the scheduler drains it first.
+        """
+        if node not in self.nodes:
+            raise GridError(f"node {node.name!r} is not in this pool")
+        if node.free_cores != node.cores:
+            raise GridError(f"node {node.name!r} still has allocations")
+        if len(self.nodes) == 1:
+            raise GridError("cannot remove the last node of a pool")
+        self.nodes.remove(node)
+
+    def find_node(self, name: str) -> ComputeNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise GridError(f"no node named {name!r}")

@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per paper artefact.
+
+Each scenario deploys a standard testbed + onServe stack, instruments
+the appliance host with the paper's 3-second sampler, drives the
+workload, and returns a result object carrying the telemetry series and
+the headline numbers.  The ``benchmarks/`` tree calls these to print the
+paper-shaped output; ``tests/scenarios`` asserts the expected shapes
+(see DESIGN.md §4).
+
+* :mod:`~repro.scenarios.fig6` — WS execution, small file (Figure 6)
+* :mod:`~repro.scenarios.fig7` — WS execution, ~5 MB file (Figure 7)
+* :mod:`~repro.scenarios.fig8` — upload + service generation (Figure 8)
+* :mod:`~repro.scenarios.scalability` — §VIII.D concurrency sweeps
+* :mod:`~repro.scenarios.overhead` — §VIII.B overhead-vs-runtime study
+* :mod:`~repro.scenarios.smallfiles` — §VIII.B many-small-files claim
+"""
+
+from repro.scenarios.common import ScenarioEnv, standard_env
+from repro.scenarios.fig6 import Fig6Result, run_fig6
+from repro.scenarios.fig7 import Fig7Result, run_fig7
+from repro.scenarios.fig8 import Fig8Result, run_fig8
+from repro.scenarios.overhead import OverheadResult, run_overhead
+from repro.scenarios.scalability import ScalabilityResult, run_scalability
+from repro.scenarios.smallfiles import SmallFilesResult, run_smallfiles
+
+__all__ = [
+    "ScenarioEnv", "standard_env",
+    "Fig6Result", "run_fig6",
+    "Fig7Result", "run_fig7",
+    "Fig8Result", "run_fig8",
+    "ScalabilityResult", "run_scalability",
+    "OverheadResult", "run_overhead",
+    "SmallFilesResult", "run_smallfiles",
+]

@@ -1,0 +1,82 @@
+"""Command-line experiment runner: ``python -m repro.scenarios <exp>``.
+
+Runs one (or all) of the paper-reproduction harnesses and prints the
+rendered report — the same output the benchmarks save under
+``benchmarks/reports/``.
+
+Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.scenarios import (
+    run_fig6, run_fig7, run_fig8, run_overhead, run_scalability,
+    run_smallfiles,
+)
+from repro.units import MB
+
+
+def _fig6() -> str:
+    return run_fig6().render()
+
+
+def _fig7() -> str:
+    return run_fig7().render()
+
+
+def _fig8() -> str:
+    faithful = run_fig8()
+    improved = run_fig8(double_write=False)
+    return faithful.render() + "\n\n" + improved.render()
+
+
+def _scalability() -> str:
+    uploads = run_scalability(workload="upload", network="fast",
+                              levels=(1, 2, 4, 8),
+                              file_bytes=int(5 * MB(1)))
+    invokes = run_scalability(workload="invoke", network="slow",
+                              levels=(1, 2, 4))
+    return uploads.render() + "\n\n" + invokes.render()
+
+
+def _overhead() -> str:
+    return run_overhead(runtimes=(10.0, 60.0, 300.0, 1800.0)).render()
+
+
+def _smallfiles() -> str:
+    return run_smallfiles(levels=(4, 8, 16)).render()
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "scalability": _scalability,
+    "overhead": _overhead,
+    "smallfiles": _smallfiles,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Regenerate the paper's evaluation artefacts.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Simulated grid security infrastructure (GSI stand-in).
+
+Production grids are "accessed with strict secure interface, for example,
+with x.509 Certificates and Proxies" (paper, §II.B).  This package
+reproduces the *structure* of that infrastructure — certificate
+authorities, end-entity certificates, proxy-certificate delegation
+chains, a MyProxy credential repository, and GSI-style mutual
+authentication — with toy HMAC-based signatures.
+
+.. warning::
+   None of this is real cryptography.  Signatures are SHA-256 MACs whose
+   verification works because the in-process public key object holds the
+   verifying closure.  The point is to model the message flows, byte
+   volumes and expiry semantics the paper's evaluation exercises, not to
+   provide security.
+"""
+
+from repro.security.keys import KeyPair, PublicKey
+from repro.security.myproxy import MyProxyServer
+from repro.security.proxy import ProxyCertificate, delegate_proxy, validate_chain
+from repro.security.x509 import Certificate, CertificateAuthority
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "Certificate",
+    "CertificateAuthority",
+    "ProxyCertificate",
+    "delegate_proxy",
+    "validate_chain",
+    "MyProxyServer",
+]

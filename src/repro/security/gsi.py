@@ -1,0 +1,98 @@
+"""GSI-style authentication contexts.
+
+A :class:`GsiAcceptor` belongs to a service (e.g. the GRAM gatekeeper);
+it holds the set of trusted CAs and an optional authorization list
+(gridmap).  Clients present a proxy chain; the acceptor validates it and
+returns an :class:`AuthContext` naming the authenticated subject, which
+downstream calls carry as proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Set
+
+from repro.errors import AuthenticationFailed
+from repro.security.keys import PublicKey
+from repro.security.proxy import chain_wire_size, validate_chain
+from repro.security.x509 import Certificate, CertificateAuthority
+
+__all__ = ["AuthContext", "GsiAcceptor"]
+
+
+class AuthContext:
+    """Proof of a completed authentication."""
+
+    __slots__ = ("subject", "acceptor_name", "established_at", "context_id")
+
+    def __init__(self, subject: str, acceptor_name: str,
+                 established_at: float, context_id: int):
+        self.subject = subject
+        self.acceptor_name = acceptor_name
+        self.established_at = established_at
+        self.context_id = context_id
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<AuthContext {self.subject!r}@{self.acceptor_name}>"
+
+
+class GsiAcceptor:
+    """Service-side GSI endpoint: trusted CAs + gridmap authorization."""
+
+    def __init__(self, name: str,
+                 trusted_cas: Sequence[CertificateAuthority] = (),
+                 gridmap: Optional[Set[str]] = None):
+        self.name = name
+        self._trusted: Dict[str, PublicKey] = {
+            ca.name: ca.public_key for ca in trusted_cas}
+        #: Authorized end-entity subjects; ``None`` means "any valid chain".
+        self.gridmap = gridmap
+        #: CA name -> revoked serials (refreshed via update_crl).
+        self._crls: Dict[str, frozenset] = {}
+        self._context_counter = itertools.count(1)
+        self.handshakes_ok = 0
+        self.handshakes_failed = 0
+
+    def trust(self, ca: CertificateAuthority) -> None:
+        """Add a CA to the trust store."""
+        self._trusted[ca.name] = ca.public_key
+
+    def update_crl(self, ca: CertificateAuthority) -> None:
+        """Fetch the CA's current revocation list (a CRL refresh)."""
+        self._crls[ca.name] = ca.crl()
+
+    def authorize(self, subject: str) -> None:
+        """Add *subject* to the gridmap (creating one if absent)."""
+        if self.gridmap is None:
+            self.gridmap = set()
+        self.gridmap.add(subject)
+
+    def accept(self, chain: Sequence[Certificate], now: float) -> AuthContext:
+        """Validate *chain* and authorize its subject.
+
+        Raises the specific :mod:`repro.errors` security exception on
+        failure; returns an :class:`AuthContext` on success.
+        """
+        try:
+            subject = validate_chain(chain, self._trusted, now,
+                                     crls=self._crls)
+        except Exception:
+            self.handshakes_failed += 1
+            raise
+        if self.gridmap is not None and subject not in self.gridmap:
+            self.handshakes_failed += 1
+            raise AuthenticationFailed(
+                f"{self.name}: subject {subject!r} not in gridmap")
+        self.handshakes_ok += 1
+        return AuthContext(subject, self.name, now,
+                           next(self._context_counter))
+
+    @staticmethod
+    def handshake_bytes(chain: Sequence[Certificate]) -> int:
+        """Bytes exchanged by a mutual-auth handshake presenting *chain*.
+
+        The chain travels once, plus hello/finish framing both ways —
+        this feeds the network traffic model for the credential exchange
+        visible in Figure 6.
+        """
+        return chain_wire_size(chain) + 2 * 1024

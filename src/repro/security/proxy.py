@@ -1,0 +1,121 @@
+"""Proxy certificates and delegation-chain validation (RFC 3820 style).
+
+A proxy certificate is signed by the *holder* of the parent certificate's
+key (not by a CA), carries a subject extending the parent's, and must not
+outlive its parent.  Chains are validated leaf-first up to a trusted CA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import CertificateInvalid, CredentialExpired
+from repro.security.keys import KeyPair, PublicKey
+from repro.security.x509 import Certificate
+
+__all__ = ["ProxyCertificate", "delegate_proxy", "validate_chain"]
+
+#: Maximum delegation depth accepted by :func:`validate_chain`.
+MAX_PROXY_DEPTH = 8
+
+
+class ProxyCertificate(Certificate):
+    """A certificate issued by another certificate's key holder."""
+
+    __slots__ = ()
+
+
+def delegate_proxy(parent_cert: Certificate, parent_key: KeyPair,
+                   not_before: float, lifetime: float,
+                   serial: int = 0) -> tuple[KeyPair, ProxyCertificate]:
+    """Create a proxy under *parent_cert*, signed with *parent_key*.
+
+    Returns ``(proxy_keypair, proxy_certificate)``.  The proxy's validity
+    is clipped to its parent's (a proxy can never outlive its parent).
+    """
+    if parent_key.public != parent_cert.public_key:
+        raise CertificateInvalid(
+            "delegation key does not match the parent certificate")
+    not_after = min(not_before + lifetime, parent_cert.not_after)
+    if not_after <= not_before:
+        raise CredentialExpired(
+            f"parent {parent_cert.subject!r} leaves no lifetime to delegate")
+    proxy_key = KeyPair(
+        # Deterministic derivation from the parent secret and serial keeps
+        # repeated delegations reproducible without threading RNGs around.
+        __import__("hashlib").sha256(
+            parent_key.sign(f"proxy:{serial}:{not_before}".encode())
+        ).digest()
+    )
+    proxy = ProxyCertificate(
+        subject=parent_cert.subject + "/CN=proxy",
+        issuer=parent_cert.subject,
+        public_key=proxy_key.public,
+        not_before=not_before,
+        not_after=not_after,
+        serial=serial,
+        is_proxy=True,
+    )
+    proxy.signature = parent_key.sign(proxy.tbs_bytes())
+    return proxy_key, proxy
+
+
+def validate_chain(chain: Sequence[Certificate],
+                   trusted_cas: Dict[str, PublicKey],
+                   now: float,
+                   crls: Dict[str, frozenset] = None) -> str:
+    """Validate a leaf-first certificate chain.
+
+    *chain* is ``[leaf proxy, ..., end-entity certificate]``; the
+    end-entity certificate's issuer must be one of *trusted_cas*.
+    *crls* optionally maps CA name -> revoked serials; a revoked EE
+    certificate fails the chain even inside its validity window.
+    Returns the authenticated end-entity subject.
+
+    Raises :class:`CertificateInvalid` for structural/signature problems
+    and :class:`CredentialExpired` for lifetime problems.
+    """
+    if not chain:
+        raise CertificateInvalid("empty certificate chain")
+    if len(chain) - 1 > MAX_PROXY_DEPTH:
+        raise CertificateInvalid(
+            f"delegation depth {len(chain) - 1} exceeds {MAX_PROXY_DEPTH}")
+
+    end_entity = chain[-1]
+    if end_entity.is_proxy:
+        raise CertificateInvalid("chain does not terminate in an EE certificate")
+    ca_key = trusted_cas.get(end_entity.issuer)
+    if ca_key is None:
+        raise CertificateInvalid(f"untrusted CA {end_entity.issuer!r}")
+    end_entity.verify_signature(ca_key)
+    end_entity.check_validity(now)
+    if crls and end_entity.serial in crls.get(end_entity.issuer, ()):
+        raise CertificateInvalid(
+            f"certificate {end_entity.subject!r} (serial "
+            f"{end_entity.serial}) has been revoked")
+
+    # Walk from the EE certificate down to the leaf proxy.
+    parent = end_entity
+    for cert in reversed(chain[:-1]):
+        if not cert.is_proxy:
+            raise CertificateInvalid(
+                f"non-proxy certificate {cert.subject!r} inside the chain")
+        if cert.issuer != parent.subject:
+            raise CertificateInvalid(
+                f"broken chain: {cert.subject!r} issued by {cert.issuer!r}, "
+                f"expected {parent.subject!r}")
+        if not cert.subject.startswith(parent.subject + "/"):
+            raise CertificateInvalid(
+                f"proxy subject {cert.subject!r} does not extend its parent")
+        cert.verify_signature(parent.public_key)
+        cert.check_validity(now)
+        if cert.not_after > parent.not_after + 1e-9:
+            raise CertificateInvalid(
+                f"proxy {cert.subject!r} outlives its parent")
+        parent = cert
+    return end_entity.subject
+
+
+def chain_wire_size(chain: Sequence[Certificate]) -> int:
+    """Total on-the-wire size of a chain (for traffic modelling)."""
+    return sum(cert.wire_size() for cert in chain)

@@ -1,0 +1,152 @@
+"""The :class:`Simulator`: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.errors import CausalityError, SimulationError
+from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
+from repro.simkernel.process import Process
+from repro.simkernel.rng import RngRegistry
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the clock (:attr:`now`, in simulated seconds), a
+    priority queue of triggered events, and a registry of named random
+    streams (:attr:`rng`) so stochastic components are independently
+    seedable.
+
+    Events scheduled for the same instant are processed in the order they
+    were enqueued (FIFO tie-break via a monotone sequence number), which
+    keeps runs fully reproducible.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        #: Current simulated time, in seconds.
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Named deterministic RNG streams.
+        self.rng = RngRegistry(seed)
+        #: Count of events processed so far (useful in benchmarks).
+        self.events_processed = 0
+        self._trace = trace
+        self._trace_log: list[tuple[float, str]] = []
+
+    # -- event construction -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires after *delay* simulated seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new simulation process driving *generator*."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event firing when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event firing when all of *events* have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        """Place a triggered event on the queue *delay* seconds from now."""
+        if delay < 0:
+            raise CausalityError(f"cannot schedule event {delay} s in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- run loop -------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        self.events_processed += 1
+        if self._trace:
+            self._trace_log.append((when, repr(event)))
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it instead of silently
+            # dropping it, mirroring SimPy's behaviour.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event is processed and
+            return its value (raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            result: dict[str, Any] = {}
+
+            def _done(ev: Event) -> None:
+                result["value"] = ev._value
+                result["ok"] = ev._ok
+                if not ev._ok:
+                    ev.defused()
+
+            stop.add_callback(_done)
+            while "value" not in result:
+                if not self._heap:
+                    raise SimulationError(
+                        "run(until=event): queue exhausted before event fired"
+                    )
+                self.step()
+            if not result["ok"]:
+                raise result["value"]
+            return result["value"]
+
+        horizon = float(until)
+        if horizon < self.now:
+            raise CausalityError(f"cannot run until {horizon} < now={self.now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def queued_events(self) -> int:
+        """Number of events currently waiting on the queue."""
+        return len(self._heap)
+
+    def trace(self) -> list[tuple[float, str]]:
+        """Return the (time, event) trace collected when trace=True."""
+        return list(self._trace_log)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Simulator t={self.now:.6g} queued={len(self._heap)}>"

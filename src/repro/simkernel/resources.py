@@ -1,0 +1,205 @@
+"""Shared-resource primitives: Resource, Container and Store.
+
+These mirror the classic SimPy trio:
+
+* :class:`Resource` — a fixed number of slots; processes queue for one.
+* :class:`Container` — a homogeneous quantity (e.g. disk space) that can
+  be put into / taken from.
+* :class:`Store` — a queue of distinct Python objects.
+
+All waiting is FIFO (optionally priority-ordered for ``Resource``), which
+keeps contention deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires (with value ``self``) once the slot is granted.  Use as a
+    context manager or call :meth:`release` explicitly::
+
+        req = resource.request()
+        yield req
+        ...
+        resource.release(req)
+    """
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        self.key = (priority, next(resource._ticket))
+
+    def release(self) -> None:
+        """Give the slot back (or withdraw the queued request)."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class Resource:
+    """*capacity* identical slots with a FIFO (priority-aware) wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._ticket = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted.
+
+        Lower *priority* values are served first; ties are FIFO.
+        """
+        req = Request(self, priority=priority)
+        self.queue.append(req)
+        self.queue.sort(key=lambda r: r.key)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a held slot, or withdraw a still-queued request."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # Releasing twice is tolerated: __exit__ after an explicit release
+        # must not blow up.
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            req = self.queue.pop(0)
+            self.users.append(req)
+            req.succeed(req)
+
+
+class Container:
+    """A homogeneous quantity with blocking put/get.
+
+    ``get`` events fire once the requested amount is available; ``put``
+    events fire once there is room below *capacity*.  Waiters are served
+    FIFO — a large get at the head blocks smaller ones behind it, which is
+    exactly the fairness you want for disk-space style accounting.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"),
+                 init: float = 0.0, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self.name = name
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    def put(self, amount: float) -> Event:
+        """Add *amount*; fires when it fits under capacity."""
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        ev = Event(self.sim, name=f"put:{self.name}")
+        self._putters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove *amount*; fires when that much is available."""
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        ev = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.pop(0)
+                    self.level += amount
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if amount <= self.level:
+                    self._getters.pop(0)
+                    self.level -= amount
+                    ev.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO queue of distinct items with blocking put/get."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"),
+                 name: str = ""):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def put(self, item: Any) -> Event:
+        """Append *item*; fires when there is room."""
+        ev = Event(self.sim, name=f"put:{self.name}")
+        self._putters.append((item, ev))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest item; fires when one exists."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                item, ev = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            if self._getters and self.items:
+                ev = self._getters.pop(0)
+                ev.succeed(self.items.pop(0))
+                progressed = True

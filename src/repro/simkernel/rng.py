@@ -1,0 +1,51 @@
+"""Named, independently-seeded random streams.
+
+Stochastic components (workload generators, jitter models...) must never
+share one global RNG: adding a new random draw anywhere would perturb every
+other component's sequence and break experiment reproducibility.  Instead
+each component asks the registry for a stream by name; the stream's seed is
+derived deterministically from the registry's master seed and the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory for named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use.
+
+        The same (master_seed, name) pair always yields the same sequence,
+        regardless of creation order or other streams' consumption.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode()
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def reseed(self, master_seed: int) -> None:
+        """Reset the registry with a new master seed, dropping all streams."""
+        self.master_seed = master_seed
+        self._streams.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<RngRegistry seed={self.master_seed} "
+                f"streams={sorted(self._streams)}>")

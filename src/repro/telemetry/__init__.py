@@ -1,0 +1,15 @@
+"""Telemetry: time-series sampling of simulated hosts.
+
+The paper's evaluation (Figures 6-8) plots CPU utilization, disk read/write
+rates and network in/out rates of the appliance host, sampled every
+3 seconds.  :class:`~repro.telemetry.sampler.HostSampler` reproduces that
+instrument: it runs as a simulation process, reads the host's exact
+cumulative counters each interval, and records per-interval rates into
+:class:`~repro.telemetry.series.TimeSeries` objects.
+"""
+
+from repro.telemetry.report import render_figure, series_table, to_csv
+from repro.telemetry.sampler import HostSampler
+from repro.telemetry.series import TimeSeries
+
+__all__ = ["TimeSeries", "HostSampler", "render_figure", "series_table", "to_csv"]

@@ -1,0 +1,99 @@
+"""Rendering of telemetry series: ASCII figures, tables, CSV.
+
+The benchmark harnesses use these to print the same series the paper's
+figures plot, so a run's output can be compared against the paper
+shape-by-shape (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.telemetry.series import TimeSeries
+
+__all__ = ["sparkline", "render_figure", "series_table", "to_csv"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: TimeSeries, width: int = 72) -> str:
+    """A one-line unicode bar rendering of *series*, rescaled to *width*."""
+    values = series.values
+    if not values:
+        return "(empty)"
+    # Downsample/bucket to the requested width by averaging.
+    buckets: List[float] = []
+    n = len(values)
+    if n <= width:
+        buckets = list(values)
+    else:
+        per = n / width
+        for i in range(width):
+            lo = int(i * per)
+            hi = max(lo + 1, int((i + 1) * per))
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+    top = max(buckets)
+    if top <= 0:
+        return _BARS[0] * len(buckets)
+    chars = []
+    for v in buckets:
+        idx = round(v / top * (len(_BARS) - 1))
+        chars.append(_BARS[max(0, min(idx, len(_BARS) - 1))])
+    return "".join(chars)
+
+
+def render_figure(title: str, series_list: Sequence[TimeSeries],
+                  width: int = 72) -> str:
+    """Render a titled multi-series ASCII figure (one sparkline per metric)."""
+    lines = [title, "=" * len(title)]
+    for s in series_list:
+        label = f"{s.name} [{s.unit}]".ljust(34)
+        lines.append(f"{label} max={s.max():10.2f}  mean={s.mean():8.2f}")
+        lines.append(f"  {sparkline(s, width)}")
+    return "\n".join(lines)
+
+
+def series_table(series_list: Sequence[TimeSeries],
+                 max_rows: int = 0) -> str:
+    """Render series as an aligned table: time column + one value column each.
+
+    All series must share their time base (true for one sampler's output).
+    *max_rows* > 0 truncates the middle of long tables.
+    """
+    if not series_list:
+        return "(no series)"
+    times = series_list[0].times
+    headers = ["t(s)"] + [s.name for s in series_list]
+    rows: List[List[str]] = []
+    for i, t in enumerate(times):
+        row = [f"{t:.1f}"]
+        for s in series_list:
+            vals = s.values
+            row.append(f"{vals[i]:.2f}" if i < len(vals) else "")
+        rows.append(row)
+    if max_rows and len(rows) > max_rows:
+        head = rows[: max_rows // 2]
+        tail = rows[-(max_rows - max_rows // 2):]
+        rows = head + [["..."] * len(headers)] + tail
+    widths = [max(len(h), *(len(r[c]) for r in rows))
+              for c, h in enumerate(headers)]
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    return "\n".join([fmt(headers)] + [fmt(r) for r in rows])
+
+
+def to_csv(series_list: Sequence[TimeSeries]) -> str:
+    """Serialize series (shared time base) as CSV text."""
+    if not series_list:
+        return ""
+    header = "time," + ",".join(s.name for s in series_list)
+    lines = [header]
+    times = series_list[0].times
+    for i, t in enumerate(times):
+        cells = [f"{t:g}"]
+        for s in series_list:
+            vals = s.values
+            cells.append(f"{vals[i]:g}" if i < len(vals) else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

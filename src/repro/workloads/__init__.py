@@ -1,0 +1,39 @@
+"""Workloads: synthetic executables and workload generators.
+
+The system under test treats uploaded executables as opaque byte blobs.
+To make those blobs *do* something when a grid node runs them, a payload
+embeds a small header naming an :class:`ExecutableProfile` — the node
+parses the header and asks the profile for the job's runtime, output
+size, and (optionally real) output bytes.  Profiles can be backed by
+actual Python functions, so examples compute real answers (Monte-Carlo
+pi, word counts) while the middleware pipeline stays byte-oriented.
+"""
+
+from repro.workloads.executables import (
+    EchoProfile,
+    ExecutableProfile,
+    FixedRuntimeProfile,
+    MonteCarloPiProfile,
+    SleepProfile,
+    WordCountProfile,
+    get_profile,
+    make_payload,
+    parse_payload,
+    register_profile,
+)
+from repro.workloads.generator import WorkloadSpec, make_workload
+
+__all__ = [
+    "ExecutableProfile",
+    "FixedRuntimeProfile",
+    "SleepProfile",
+    "EchoProfile",
+    "MonteCarloPiProfile",
+    "WordCountProfile",
+    "register_profile",
+    "get_profile",
+    "make_payload",
+    "parse_payload",
+    "WorkloadSpec",
+    "make_workload",
+]

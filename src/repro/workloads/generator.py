@@ -1,0 +1,66 @@
+"""Workload generators for the evaluation scenarios.
+
+Each generator yields ``(name, payload, description, params_spec)``
+tuples ready to upload through the portal.  Mixes mirror the paper's
+discussion: "a lot of relatively small files" (§VIII.B), a ~5 MB large
+file (Figure 7), and mixed multi-user populations (§VIII.D).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.units import KB, MB
+from repro.workloads.executables import make_payload
+
+__all__ = ["WorkloadSpec", "make_workload"]
+
+Upload = Tuple[str, bytes, str, str]
+
+
+class WorkloadSpec:
+    """Parameters of a synthetic upload workload."""
+
+    def __init__(self, kind: str = "small", count: int = 10,
+                 runtime: float = 30.0, output_bytes: int = 4096,
+                 size_bytes: Optional[int] = None, seed: int = 0):
+        if kind not in ("small", "large", "mixed"):
+            raise ValueError(f"unknown workload kind {kind!r}")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.kind = kind
+        self.count = count
+        self.runtime = runtime
+        self.output_bytes = output_bytes
+        self.size_bytes = size_bytes
+        self.seed = seed
+
+
+def make_workload(spec: WorkloadSpec) -> List[Upload]:
+    """Materialize *spec* into uploadable executables."""
+    rng = random.Random(spec.seed)
+    uploads: List[Upload] = []
+    for i in range(spec.count):
+        if spec.kind == "small":
+            size = spec.size_bytes or int(rng.uniform(200, KB(4)))
+        elif spec.kind == "large":
+            size = spec.size_bytes or int(5 * MB(1))
+        else:  # mixed: 80% small, 20% large (a plausible portal population)
+            if rng.random() < 0.8:
+                size = int(rng.uniform(200, KB(8)))
+            else:
+                size = int(rng.uniform(MB(1), 5 * MB(1)))
+        runtime = spec.runtime * rng.uniform(0.5, 1.5)
+        payload = make_payload(
+            profile="fixed", size=size,
+            runtime=f"{runtime:.3f}",
+            output_bytes=str(spec.output_bytes),
+        )
+        uploads.append((
+            f"{spec.kind}-exe-{i:03d}",
+            payload,
+            f"synthetic {spec.kind} workload executable #{i}",
+            "",
+        ))
+    return uploads

@@ -1,0 +1,200 @@
+"""The SOAP server: service deployment and request dispatch.
+
+A :class:`SoapServer` lives on a simulated host (the appliance's Tomcat
+stand-in).  Services are deployed with a
+:class:`~repro.ws.registryapi.ServiceDescription` plus a *handler*
+callable; invocations are full simulation processes that
+
+1. move the real encoded request envelope over the network,
+2. charge the server CPU for parsing/dispatch (scaled by message size),
+3. run the handler (which may itself be a simulation process — the
+   generated GridService handler submits grid jobs and takes minutes),
+4. move the real encoded response (or fault) back to the client.
+
+:class:`SoapFabric` is the name service mapping ``soap://host/Service``
+endpoints to server objects, standing in for DNS+TCP connection setup.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.errors import ReproError, ServiceNotFound, SoapFault, WsError
+from repro.hardware.host import Host
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+from repro.units import KB
+from repro.ws.registryapi import ServiceDescription
+from repro.ws.soap import SoapEnvelope
+from repro.ws.wsdl import generate_wsdl
+
+__all__ = ["SoapFabric", "SoapServer", "DeployedService"]
+
+#: Handler signature: (operation_name, arguments) -> value | generator.
+Handler = Callable[[str, Dict[str, Any]], Any]
+
+
+class SoapFabric:
+    """Endpoint resolution: ``soap://<host>/<Service>`` -> server object."""
+
+    SCHEME = "soap://"
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, "SoapServer"] = {}
+
+    def register(self, server: "SoapServer") -> None:
+        if server.host.name in self._servers:
+            raise WsError(f"a SOAP server is already bound on {server.host.name!r}")
+        self._servers[server.host.name] = server
+
+    def unregister(self, server: "SoapServer") -> None:
+        self._servers.pop(server.host.name, None)
+
+    def resolve(self, endpoint: str) -> Tuple["SoapServer", str]:
+        """Split an endpoint URL into (server, service_name)."""
+        if not endpoint.startswith(self.SCHEME):
+            raise WsError(f"bad endpoint {endpoint!r}")
+        rest = endpoint[len(self.SCHEME):]
+        if "/" not in rest:
+            raise WsError(f"endpoint {endpoint!r} lacks a service path")
+        hostname, service = rest.split("/", 1)
+        server = self._servers.get(hostname)
+        if server is None:
+            raise ServiceNotFound(f"no SOAP server on host {hostname!r}")
+        return server, service
+
+
+class DeployedService:
+    """A live service on a server."""
+
+    __slots__ = ("description", "handler", "deployed_at", "invocations",
+                 "faults")
+
+    def __init__(self, description: ServiceDescription, handler: Handler,
+                 deployed_at: float):
+        self.description = description
+        self.handler = handler
+        self.deployed_at = deployed_at
+        self.invocations = 0
+        self.faults = 0
+
+
+class SoapServer:
+    """A SOAP service container on one host."""
+
+    #: CPU seconds to parse+dispatch one KB of envelope (streaming XML
+    #: parsers handle ~5 MB/s of base64-heavy payload per core).
+    PARSE_CPU_PER_KB = 0.0002
+    #: Fixed CPU per request (container overhead: thread, session, ...).
+    DISPATCH_CPU = 0.01
+
+    def __init__(self, host: Host, fabric: Optional[SoapFabric] = None,
+                 name: str = "soap"):
+        self.host = host
+        self.sim = host.sim
+        self.name = name
+        self.fabric = fabric
+        if fabric is not None:
+            fabric.register(self)
+        self._services: Dict[str, DeployedService] = {}
+        self.requests_served = 0
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, description: ServiceDescription, handler: Handler) -> str:
+        """Deploy a service; returns its endpoint URL."""
+        if description.name in self._services:
+            raise WsError(f"service {description.name!r} already deployed")
+        self._services[description.name] = DeployedService(
+            description, handler, self.sim.now)
+        return self.endpoint_for(description.name)
+
+    def undeploy(self, service_name: str) -> None:
+        if service_name not in self._services:
+            raise ServiceNotFound(f"service {service_name!r} not deployed")
+        del self._services[service_name]
+
+    def endpoint_for(self, service_name: str) -> str:
+        return f"{SoapFabric.SCHEME}{self.host.name}/{service_name}"
+
+    def services(self) -> list[str]:
+        return sorted(self._services)
+
+    def service(self, name: str) -> DeployedService:
+        svc = self._services.get(name)
+        if svc is None:
+            raise ServiceNotFound(
+                f"service {name!r} not deployed on {self.host.name!r}")
+        return svc
+
+    def wsdl(self, service_name: str) -> bytes:
+        """The WSDL document for a deployed service."""
+        svc = self.service(service_name)
+        return generate_wsdl(svc.description, self.endpoint_for(service_name))
+
+    # -- invocation ---------------------------------------------------------------
+
+    def invoke_from(self, client: Host, service_name: str, operation: str,
+                    params: Dict[str, Any]) -> Process:
+        """Invoke ``service.operation(params)`` from *client*.
+
+        Returns a simulation process whose value is the operation's
+        return value; SOAP faults raise :class:`SoapFault` in the caller.
+        """
+
+        def call() -> Generator[Event, None, Any]:
+            request = SoapEnvelope.request(operation, params,
+                                           namespace=f"urn:repro:{service_name}")
+            request_bytes = request.size()
+            yield client.send(self.host, request_bytes,
+                              label=f"soap-req:{service_name}.{operation}")
+            response = yield self.sim.process(
+                self._serve(request_bytes, service_name, operation, params))
+            yield self.host.send(client, response.size(),
+                                 label=f"soap-rsp:{service_name}.{operation}")
+            return response.result()  # raises the fault, if any
+
+        return self.sim.process(call(),
+                                name=f"invoke:{service_name}.{operation}")
+
+    def _serve(self, request_bytes: int, service_name: str, operation: str,
+               params: Dict[str, Any]) -> Generator[Event, None, SoapEnvelope]:
+        """Server-side half: parse, validate, run handler, build response."""
+        yield self.host.compute(
+            self.DISPATCH_CPU + self.PARSE_CPU_PER_KB * request_bytes / KB(1),
+            tag="soap")
+        self.requests_served += 1
+        try:
+            svc = self.service(service_name)
+            spec = svc.description.operation(operation)
+            spec.validate_arguments(params)
+            svc.invocations += 1
+            result = svc.handler(operation, dict(params))
+            if inspect.isgenerator(result):
+                result = yield self.sim.process(
+                    result, name=f"handler:{service_name}.{operation}")
+            return SoapEnvelope.response(operation, result)
+        except SoapFault as fault:
+            self._count_fault(service_name)
+            return SoapEnvelope.fault_response(fault)
+        except Exception as exc:
+            # Any handler exception becomes a fault on the wire — a SOAP
+            # container never lets implementation errors kill the
+            # connection.  Library errors keep their type in the detail;
+            # unexpected ones are marked as such.
+            self._count_fault(service_name)
+            code = "Server" if isinstance(exc, ReproError) else "Server.Internal"
+            return SoapEnvelope.fault_response(SoapFault(
+                faultcode=code,
+                faultstring=str(exc) or type(exc).__name__,
+                detail=type(exc).__name__,
+            ))
+
+    def _count_fault(self, service_name: str) -> None:
+        svc = self._services.get(service_name)
+        if svc is not None:
+            svc.faults += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<SoapServer {self.host.name!r} services={self.services()}>"

@@ -1,0 +1,135 @@
+"""WSDL 1.1-style document generation and parsing.
+
+The generated document carries everything a ``wsimport``-style client
+generator needs: operations, typed parameters, return types, and the
+service endpoint address.  :func:`parse_wsdl` inverts
+:func:`generate_wsdl` exactly (tested by round-trip property tests).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Tuple
+
+from repro.errors import WsdlError
+from repro.ws.registryapi import OperationSpec, ParameterSpec, ServiceDescription
+from repro.ws.xmlcodec import parse, render
+
+__all__ = ["generate_wsdl", "parse_wsdl"]
+
+
+def generate_wsdl(service: ServiceDescription, endpoint: str) -> bytes:
+    """Render *service* as a WSDL document bound to *endpoint*."""
+    defs = ET.Element("definitions")
+    defs.set("xmlns", "http://schemas.xmlsoap.org/wsdl/")
+    defs.set("name", service.name)
+    defs.set("targetNamespace", service.namespace)
+
+    if service.documentation:
+        ET.SubElement(defs, "documentation").text = service.documentation
+
+    # Messages: one input and one output per operation.
+    for op in service.operations:
+        msg_in = ET.SubElement(defs, "message")
+        msg_in.set("name", f"{op.name}Request")
+        for p in op.params:
+            part = ET.SubElement(msg_in, "part")
+            part.set("name", p.name)
+            part.set("type", p.xsd_type)
+        msg_out = ET.SubElement(defs, "message")
+        msg_out.set("name", f"{op.name}Response")
+        part = ET.SubElement(msg_out, "part")
+        part.set("name", "return")
+        part.set("type", op.return_type)
+
+    # Port type: the abstract interface.
+    port_type = ET.SubElement(defs, "portType")
+    port_type.set("name", f"{service.name}PortType")
+    for op in service.operations:
+        op_el = ET.SubElement(port_type, "operation")
+        op_el.set("name", op.name)
+        ET.SubElement(op_el, "input").set("message", f"{op.name}Request")
+        ET.SubElement(op_el, "output").set("message", f"{op.name}Response")
+
+    # Binding: SOAP-RPC over the simulated transport.
+    binding = ET.SubElement(defs, "binding")
+    binding.set("name", f"{service.name}Binding")
+    binding.set("type", f"{service.name}PortType")
+    binding.set("style", "rpc")
+    binding.set("transport", "urn:repro:soap-sim")
+
+    # Service + port: the concrete endpoint.
+    svc = ET.SubElement(defs, "service")
+    svc.set("name", service.name)
+    port = ET.SubElement(svc, "port")
+    port.set("name", f"{service.name}Port")
+    port.set("binding", f"{service.name}Binding")
+    address = ET.SubElement(port, "address")
+    address.set("location", endpoint)
+
+    return render(defs)
+
+
+def parse_wsdl(document: bytes) -> Tuple[ServiceDescription, str]:
+    """Parse a WSDL document back into ``(description, endpoint)``."""
+    root = parse(document)
+    if not root.tag.endswith("definitions"):
+        raise WsdlError(f"not a WSDL document (root {root.tag!r})")
+    # ElementTree keeps the default xmlns as a tag prefix; strip it.
+    ns = ""
+    if root.tag.startswith("{"):
+        ns = root.tag[: root.tag.index("}") + 1]
+
+    def findall(parent: ET.Element, tag: str):
+        return parent.findall(ns + tag)
+
+    def find(parent: ET.Element, tag: str):
+        return parent.find(ns + tag)
+
+    name = root.get("name")
+    namespace = root.get("targetNamespace")
+    if not name or not namespace:
+        raise WsdlError("definitions element missing name/targetNamespace")
+
+    doc_el = find(root, "documentation")
+    documentation = (doc_el.text or "") if doc_el is not None else ""
+
+    # Collect message signatures.
+    messages = {}
+    for msg in findall(root, "message"):
+        parts = [(part.get("name"), part.get("type"))
+                 for part in findall(msg, "part")]
+        messages[msg.get("name")] = parts
+
+    port_type = find(root, "portType")
+    if port_type is None:
+        raise WsdlError("WSDL has no portType")
+    operations = []
+    for op_el in findall(port_type, "operation"):
+        op_name = op_el.get("name")
+        input_el = find(op_el, "input")
+        output_el = find(op_el, "output")
+        if op_name is None or input_el is None or output_el is None:
+            raise WsdlError(f"malformed operation element {op_name!r}")
+        in_parts = messages.get(input_el.get("message"))
+        out_parts = messages.get(output_el.get("message"))
+        if in_parts is None or out_parts is None:
+            raise WsdlError(f"operation {op_name!r} references unknown messages")
+        if len(out_parts) != 1:
+            raise WsdlError(f"operation {op_name!r} must return one part")
+        params = [ParameterSpec(pname, ptype) for pname, ptype in in_parts]
+        operations.append(OperationSpec(op_name, params,
+                                        return_type=out_parts[0][1]))
+
+    svc = find(root, "service")
+    if svc is None:
+        raise WsdlError("WSDL has no service element")
+    port = find(svc, "port")
+    address = find(port, "address") if port is not None else None
+    if address is None or not address.get("location"):
+        raise WsdlError("WSDL has no endpoint address")
+    endpoint = address.get("location")
+
+    description = ServiceDescription(name, operations, namespace=namespace,
+                                     documentation=documentation)
+    return description, endpoint

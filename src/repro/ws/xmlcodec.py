@@ -1,0 +1,107 @@
+"""Typed value <-> XML element codec (the XSD simple types we need)."""
+
+from __future__ import annotations
+
+import base64
+import re
+import xml.etree.ElementTree as ET
+from typing import Any, Optional
+
+from repro.errors import WsError
+
+#: Characters string values may not contain: what XML 1.0 cannot carry at
+#: all, plus bare carriage returns (XML parsers normalize them to \n, so
+#: they would not round-trip — callers should use \n line endings).
+_XML_FORBIDDEN = re.compile(
+    "[\x00-\x08\x0b-\x0c\x0d\x0e-\x1f\ud800-\udfff￾￿]")
+
+__all__ = ["XSD_TYPES", "python_to_xsd", "value_to_element",
+           "element_to_value", "render", "parse"]
+
+#: Supported XSD simple types and their Python equivalents.
+XSD_TYPES = {
+    "xsd:string": str,
+    "xsd:int": int,
+    "xsd:long": int,
+    "xsd:double": float,
+    "xsd:boolean": bool,
+    "xsd:base64Binary": bytes,
+}
+
+
+def python_to_xsd(value: Any) -> str:
+    """Infer an XSD type name from a Python value."""
+    if isinstance(value, bool):
+        return "xsd:boolean"
+    if isinstance(value, int):
+        return "xsd:int"
+    if isinstance(value, float):
+        return "xsd:double"
+    if isinstance(value, str):
+        return "xsd:string"
+    if isinstance(value, (bytes, bytearray)):
+        return "xsd:base64Binary"
+    raise WsError(f"no XSD mapping for {type(value).__name__}")
+
+
+def value_to_element(name: str, value: Any,
+                     xsd_type: Optional[str] = None) -> ET.Element:
+    """Encode *value* as ``<name xsi:type="...">text</name>``."""
+    xsd_type = xsd_type or python_to_xsd(value)
+    if xsd_type not in XSD_TYPES:
+        raise WsError(f"unsupported XSD type {xsd_type!r}")
+    elem = ET.Element(name)
+    elem.set("type", xsd_type)
+    if value is None:
+        elem.set("nil", "true")
+    elif xsd_type == "xsd:boolean":
+        elem.text = "true" if value else "false"
+    elif xsd_type == "xsd:base64Binary":
+        elem.text = base64.b64encode(bytes(value)).decode("ascii")
+    elif xsd_type == "xsd:double":
+        elem.text = repr(float(value))
+    else:
+        text = str(value)
+        if _XML_FORBIDDEN.search(text):
+            raise WsError(
+                f"string for {name!r} contains characters XML cannot carry")
+        elem.text = text
+    return elem
+
+
+def element_to_value(elem: ET.Element) -> Any:
+    """Decode an element produced by :func:`value_to_element`."""
+    xsd_type = elem.get("type", "xsd:string")
+    if xsd_type not in XSD_TYPES:
+        raise WsError(f"unsupported XSD type {xsd_type!r}")
+    if elem.get("nil") == "true":
+        return None
+    text = elem.text or ""
+    try:
+        if xsd_type == "xsd:boolean":
+            if text not in ("true", "false", "1", "0"):
+                raise ValueError(text)
+            return text in ("true", "1")
+        if xsd_type in ("xsd:int", "xsd:long"):
+            return int(text)
+        if xsd_type == "xsd:double":
+            return float(text)
+        if xsd_type == "xsd:base64Binary":
+            return base64.b64decode(text.encode("ascii"), validate=True)
+        return text
+    except (ValueError, base64.binascii.Error) as exc:
+        raise WsError(
+            f"cannot decode {text[:40]!r} as {xsd_type}: {exc}") from None
+
+
+def render(elem: ET.Element) -> bytes:
+    """Serialize an element tree to UTF-8 bytes with an XML declaration."""
+    return ET.tostring(elem, encoding="utf-8", xml_declaration=True)
+
+
+def parse(data: bytes) -> ET.Element:
+    """Parse bytes into an element tree, mapping errors to WsError."""
+    try:
+        return ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise WsError(f"malformed XML: {exc}") from None

@@ -1,0 +1,66 @@
+"""Service-naming edge cases: collisions, odd filenames, cache refresh."""
+
+import pytest
+
+from repro.core import OnServeConfig, deploy_onserve, discover_and_invoke
+from repro.errors import SoapFault, UploadError
+from repro.grid import build_testbed
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+
+
+@pytest.fixture()
+def env():
+    tb = build_testbed(n_sites=2, nodes_per_site=2, cores_per_node=4,
+                       appliance_uplink=Mbps(10))
+    stack = tb.sim.run(until=deploy_onserve(tb))
+    return tb, stack
+
+
+def upload(tb, stack, name, payload=None, **kw):
+    payload = payload or make_payload("echo", size=int(KB(1)))
+    return tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], name, payload, **kw))
+
+
+def test_colliding_names_refused(env):
+    tb, stack = env
+    upload(tb, stack, "hello.sh")
+    with pytest.raises((UploadError, SoapFault), match="collide"):
+        upload(tb, stack, "hello.py")
+    # The original service and executable are untouched.
+    assert stack.onserve.get_service("HelloService").executable_name == "hello.sh"
+    assert stack.dbmanager.has_executable("hello.sh")
+    assert not stack.dbmanager.has_executable("hello.py")
+
+
+@pytest.mark.parametrize("filename,service", [
+    ("my-cool_tool.v2.sh", "MyCoolToolV2Service"),
+    ("UPPERCASE.EXE", "UppercaseService"),
+    ("123-start.sh", "123StartService"),
+    ("dots.in.name.tar.gz", "DotsInNameTarService"),
+])
+def test_odd_filenames_produce_valid_services(env, filename, service):
+    tb, stack = env
+    result = upload(tb, stack, filename)
+    assert result.service_name == service
+    assert service in stack.soap_server.services()
+    assert stack.uddi.find_service(service)
+
+
+def test_replacement_upload_invalidates_stage_cache(env):
+    tb, stack = env
+    stack.onserve.config.upload_cache = True
+    upload(tb, stack, "job.sh",
+           payload=make_payload("echo", size=int(KB(1))))
+    client = stack.user_clients[0]
+    tb.sim.run(until=discover_and_invoke(stack, client, "Job%"))
+    assert stack.agent.uploads == 1
+    # Cache hit on the second invocation.
+    tb.sim.run(until=discover_and_invoke(stack, client, "Job%"))
+    assert stack.agent.uploads == 1
+    # Re-upload new bytes: the staged copy must be refreshed on next use.
+    upload(tb, stack, "job.sh",
+           payload=make_payload("echo", size=int(KB(2))))
+    tb.sim.run(until=discover_and_invoke(stack, client, "Job%"))
+    assert stack.agent.uploads == 2

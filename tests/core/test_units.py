@@ -1,0 +1,206 @@
+"""Unit tests for core building blocks: datastructures, watchdog, builder."""
+
+import zipfile
+import io
+
+import pytest
+
+from repro.core.datastructures import (
+    ExecutableRecord, parse_params_spec, service_name_for,
+)
+from repro.core.service_builder import ServiceBuilder
+from repro.core.watchdog import Watchdog, poll_until
+from repro.errors import OnServeError, WatchdogTimeout, WsError
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+from repro.ws import SoapFabric, SoapServer
+
+
+# ---------------------------------------------------------------- datastructures
+
+def test_parse_params_spec():
+    params = parse_params_spec("name:string, count:int, x:double, ok:boolean")
+    assert [(p.name, p.xsd_type) for p in params] == [
+        ("name", "xsd:string"), ("count", "xsd:int"),
+        ("x", "xsd:double"), ("ok", "xsd:boolean")]
+    assert parse_params_spec("") == []
+    assert parse_params_spec("   ") == []
+
+
+def test_parse_params_spec_errors():
+    with pytest.raises(OnServeError, match="name:type"):
+        parse_params_spec("justname")
+    with pytest.raises(OnServeError, match="unknown parameter type"):
+        parse_params_spec("x:blob")
+    with pytest.raises(WsError):
+        parse_params_spec("bad name:string")
+
+
+def test_service_name_for():
+    assert service_name_for("hello.sh") == "HelloService"
+    assert service_name_for("word-count_2.py") == "WordCount2Service"
+    assert service_name_for("UPPER.exe") == "UpperService"
+    with pytest.raises(OnServeError):
+        service_name_for("...")
+
+
+def test_executable_record_validation():
+    with pytest.raises(OnServeError):
+        ExecutableRecord("", "", [], 0, "u", 0.0)
+
+
+# ---------------------------------------------------------------- watchdog
+
+def test_watchdog_passes_through_fast_result():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(5)
+        return "fast"
+
+    dog = Watchdog(sim, timeout=100)
+    assert sim.run(until=dog.guard(sim.process(quick()))) == "fast"
+    assert dog.timeouts_fired == 0
+
+
+def test_watchdog_kills_slow_process():
+    sim = Simulator()
+    interrupted = []
+
+    def slow():
+        try:
+            yield sim.timeout(1000)
+        except BaseException as exc:
+            interrupted.append(type(exc).__name__)
+            raise
+
+    dog = Watchdog(sim, timeout=10)
+    with pytest.raises(WatchdogTimeout, match="exceeded 10"):
+        sim.run(until=dog.guard(sim.process(slow()), label="slow-op"))
+    sim.run()
+    assert interrupted == ["Interrupt"]
+    assert dog.timeouts_fired == 1
+
+
+def test_watchdog_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Watchdog(sim, timeout=0)
+
+
+def test_poll_until_accepts_and_counts():
+    sim = Simulator()
+    state = {"n": 0}
+
+    def poll():
+        def p():
+            yield sim.timeout(0.5)
+            state["n"] += 1
+            return state["n"]
+        return sim.process(p())
+
+    result, polls = sim.run(until=poll_until(
+        sim, poll, accept=lambda v: v >= 3, interval=10.0, timeout=1000.0))
+    assert result == 3
+    assert polls == 3
+    assert sim.now >= 20.0  # two sleep intervals
+
+
+def test_poll_until_times_out():
+    sim = Simulator()
+
+    def poll():
+        def p():
+            yield sim.timeout(0.1)
+            return False
+        return sim.process(p())
+
+    with pytest.raises(WatchdogTimeout, match="gave up"):
+        sim.run(until=poll_until(sim, poll, accept=lambda v: v,
+                                 interval=5.0, timeout=20.0))
+
+
+def test_poll_until_side_effect_runs():
+    sim = Simulator()
+    effects = []
+
+    def poll():
+        def p():
+            yield sim.timeout(0.1)
+            return True
+        return sim.process(p())
+
+    def side(result):
+        def writer():
+            yield sim.timeout(1.0)
+            effects.append(result)
+        return sim.process(writer())
+
+    sim.run(until=poll_until(sim, poll, accept=lambda v: v, interval=1.0,
+                             timeout=100.0, on_result=side))
+    assert effects == [True]
+
+
+def test_poll_until_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        poll_until(sim, lambda: None, lambda v: True, interval=0, timeout=1)
+
+
+# ---------------------------------------------------------------- service builder
+
+def _builder():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "h", net, HostSpec())
+    server = SoapServer(host, SoapFabric())
+    return sim, host, server, ServiceBuilder(host, server)
+
+
+def _record(name="hello.sh", params="name:string"):
+    return ExecutableRecord(name, "demo", parse_params_spec(params),
+                            size=100, uploaded_by="t", uploaded_at=0.0)
+
+
+def test_builder_generates_real_archive():
+    sim, host, server, builder = _builder()
+    record = _record()
+    archive = builder.build_archive(record)
+    with zipfile.ZipFile(io.BytesIO(archive)) as aar:
+        names = aar.namelist()
+        assert "HelloService.java" in names
+        assert "META-INF/services.xml" in names
+        source = aar.read("HelloService.java").decode()
+        assert 'executableName = "hello.sh"' in source
+        assert "String name" in source
+        xml = aar.read("META-INF/services.xml").decode()
+        assert 'name="HelloService"' in xml
+        assert 'name="name" type="xsd:string"' in xml
+
+
+def test_builder_deploys_service():
+    sim, host, server, builder = _builder()
+    endpoint, archive = sim.run(until=builder.build_and_deploy(
+        _record(), lambda op, p: "x"))
+    assert endpoint == "soap://h/HelloService"
+    assert "HelloService" in server.services()
+    assert builder.builds == 1
+    assert sim.now > 0  # the build took CPU+disk time
+    assert host.disk.bytes_written() >= len(archive)
+
+
+def test_builder_rejects_duplicate_service():
+    sim, host, server, builder = _builder()
+    sim.run(until=builder.build_and_deploy(_record(), lambda op, p: "x"))
+    from repro.errors import ServiceBuildError
+    with pytest.raises(ServiceBuildError, match="already exists"):
+        sim.run(until=builder.build_and_deploy(_record(), lambda op, p: "x"))
+
+
+def test_builder_description_interface():
+    _, _, _, builder = _builder()
+    desc = builder.description_for(_record(params="a:int, b:double"))
+    execute = desc.operation("execute")
+    assert [p.xsd_type for p in execute.params] == ["xsd:int", "xsd:double"]
+    assert desc.operation("describe").params == ()

@@ -1,0 +1,228 @@
+"""Unit tests for the Cyberaide agent, jobspec and mediator."""
+
+import pytest
+
+from repro.cyberaide import AgentConfig, CyberaideAgent, CyberaideJobSpec
+from repro.cyberaide.mediator import Mediator, TaskState
+from repro.errors import AuthenticationFailed, RslError, SoapFault
+from repro.grid import build_testbed
+from repro.simkernel import Simulator
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+from repro.ws import SoapFabric, SoapServer, WsClient, generate_stub
+
+
+def agent_env(status_supported=False):
+    tb = build_testbed(n_sites=2, nodes_per_site=2, cores_per_node=4,
+                       appliance_uplink=Mbps(10))
+    tb.new_grid_identity("onserve", "pw")
+    fabric = SoapFabric()
+    server = SoapServer(tb.appliance_host, fabric)
+    agent = CyberaideAgent(tb.appliance_host, tb,
+                           AgentConfig(status_supported=status_supported))
+    server.deploy(agent.service_description(), agent.handler)
+    stub = generate_stub(server.wsdl(agent.SERVICE_NAME))(
+        WsClient(tb.appliance_host, fabric))
+    return tb, agent, stub
+
+
+# ---------------------------------------------------------------- jobspec
+
+def test_jobspec_paths_and_rsl():
+    spec = CyberaideJobSpec("hello.sh", arguments=["a", 3], count=2,
+                            max_wall_time=120)
+    assert spec.staged_path() == "/scratch/cyberaide/hello.sh"
+    assert spec.stdout_path("t1") == "/scratch/cyberaide/hello.sh.t1.out"
+    rsl = spec.to_rsl("t1")
+    assert 'executable="/scratch/cyberaide/hello.sh"' in rsl
+    assert '"a" "3"' in rsl
+    assert "(count=2)" in rsl
+
+
+def test_jobspec_validation():
+    with pytest.raises(RslError):
+        CyberaideJobSpec("")
+    with pytest.raises(RslError):
+        CyberaideJobSpec("has/slash")
+
+
+# ---------------------------------------------------------------- agent
+
+def test_authenticate_creates_session():
+    tb, agent, stub = agent_env()
+
+    def flow():
+        return (yield stub.authenticate(username="onserve", passphrase="pw"))
+
+    session = tb.sim.run(until=tb.sim.process(flow()))
+    assert session.startswith("sess-")
+    assert session in agent._sessions
+
+
+def test_authenticate_bad_credentials_fault():
+    tb, agent, stub = agent_env()
+
+    def flow():
+        yield stub.authenticate(username="onserve", passphrase="nope")
+
+    with pytest.raises(SoapFault, match="passphrase"):
+        tb.sim.run(until=tb.sim.process(flow()))
+
+
+def test_list_sites_best_first():
+    tb, agent, stub = agent_env()
+
+    def flow():
+        yield stub.authenticate(username="onserve", passphrase="pw")
+        return (yield stub.listSites())
+
+    sites = tb.sim.run(until=tb.sim.process(flow()))
+    assert set(sites.split(",")) == {"ncsa", "sdsc"}
+
+
+def test_full_job_cycle_through_agent():
+    tb, agent, stub = agent_env()
+    payload = make_payload("echo", size=int(KB(2)))
+    spec = CyberaideJobSpec("echo.sh", arguments=["hi"])
+
+    def flow():
+        session = yield stub.authenticate(username="onserve", passphrase="pw")
+        n = yield stub.uploadExecutable(session=session, site="ncsa",
+                                        path=spec.staged_path(), data=payload)
+        assert n == len(payload)
+        job_id = yield stub.submitJob(session=session, site="ncsa",
+                                      rsl=spec.to_rsl("t"))
+        # Tentative polling until the stdout file appears.
+        while True:
+            ready = yield stub.outputReady(session=session, site="ncsa",
+                                           path=spec.stdout_path("t"))
+            if ready:
+                break
+            yield tb.sim.timeout(3.0)
+        output = yield stub.fetchOutput(session=session, site="ncsa",
+                                        jobId=job_id)
+        return output
+
+    output = tb.sim.run(until=tb.sim.process(flow()))
+    assert output == b"hi\n"
+    assert agent.uploads == 1
+    assert agent.submissions == 1
+    assert agent.output_polls >= 1
+
+
+def test_job_status_blocked_by_default():
+    tb, agent, stub = agent_env(status_supported=False)
+
+    def flow():
+        session = yield stub.authenticate(username="onserve", passphrase="pw")
+        yield stub.jobStatus(session=session, site="ncsa", jobId="x")
+
+    with pytest.raises(SoapFault, match="not retrievable"):
+        tb.sim.run(until=tb.sim.process(flow()))
+
+
+def test_job_status_works_in_ablation():
+    tb, agent, stub = agent_env(status_supported=True)
+    payload = make_payload("fixed", runtime="5")
+    spec = CyberaideJobSpec("f.sh")
+
+    def flow():
+        session = yield stub.authenticate(username="onserve", passphrase="pw")
+        yield stub.uploadExecutable(session=session, site="ncsa",
+                                    path=spec.staged_path(), data=payload)
+        job_id = yield stub.submitJob(session=session, site="ncsa",
+                                      rsl=spec.to_rsl("t"))
+        yield tb.sim.timeout(30.0)
+        return (yield stub.jobStatus(session=session, site="ncsa",
+                                     jobId=job_id))
+
+    assert tb.sim.run(until=tb.sim.process(flow())) == "done"
+
+
+def test_calls_require_session():
+    tb, agent, stub = agent_env()
+
+    def flow():
+        yield stub.submitJob(session="sess-bogus", site="ncsa", rsl="&")
+
+    with pytest.raises(SoapFault, match="no such agent session"):
+        tb.sim.run(until=tb.sim.process(flow()))
+
+
+def test_session_expires():
+    tb, agent, stub = agent_env()
+    agent.config.default_proxy_lifetime = 100.0
+
+    def flow():
+        session = yield stub.authenticate(username="onserve", passphrase="pw")
+        yield tb.sim.timeout(7200.0)
+        yield stub.listSites()  # fine: needs no session
+        yield stub.fetchOutput(session=session, site="ncsa", jobId="x")
+
+    with pytest.raises(SoapFault, match="expired"):
+        tb.sim.run(until=tb.sim.process(flow()))
+
+
+def test_unknown_site_fault():
+    tb, agent, stub = agent_env()
+
+    def flow():
+        session = yield stub.authenticate(username="onserve", passphrase="pw")
+        yield stub.uploadExecutable(session=session, site="mars",
+                                    path="/x", data=b"d")
+
+    with pytest.raises(SoapFault, match="GridFTP"):
+        tb.sim.run(until=tb.sim.process(flow()))
+
+
+# ---------------------------------------------------------------- mediator
+
+def test_mediator_bounds_concurrency():
+    sim = Simulator()
+    med = Mediator(sim, max_concurrent=2)
+    active = []
+    peak = []
+
+    def work():
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(10)
+        active.pop()
+        return "ok"
+
+    tasks = [med.submit(work, label=f"t{i}") for i in range(5)]
+    sim.run()
+    assert max(peak) <= 2
+    assert all(t.state is TaskState.DONE for t in tasks)
+    assert med.stats()["done"] == 5
+    assert med.stats()["mean_queue_wait"] > 0
+
+
+def test_mediator_captures_failures():
+    sim = Simulator()
+    med = Mediator(sim, max_concurrent=1)
+
+    def bad():
+        yield sim.timeout(1)
+        from repro.errors import JobError
+        raise JobError("exploded")
+
+    task = med.submit(bad, label="boom")
+    sim.run()
+    assert task.state is TaskState.FAILED
+    assert "exploded" in str(task.error)
+    assert med.stats()["failed"] == 1
+
+
+def test_mediator_wait_all():
+    sim = Simulator()
+    med = Mediator(sim, max_concurrent=2)
+
+    def work(d):
+        yield sim.timeout(d)
+
+    for d in (5, 10, 15):
+        med.submit(lambda d=d: work(d))
+    done = med.wait_all()
+    sim.run(until=done)
+    assert sim.now == pytest.approx(20.0)  # 5,10 parallel; 15 queued after 5

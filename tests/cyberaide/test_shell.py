@@ -1,0 +1,89 @@
+"""Unit tests for the Cyberaide shell."""
+
+import pytest
+
+from repro.cyberaide import AgentConfig, CyberaideAgent, CyberaideShell
+from repro.grid import build_testbed
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+from repro.ws import SoapFabric, SoapServer, WsClient
+
+
+def shell_env():
+    tb = build_testbed(n_sites=1, nodes_per_site=2, cores_per_node=4,
+                       appliance_uplink=Mbps(10))
+    tb.new_grid_identity("ada", "pw")
+    fabric = SoapFabric()
+    server = SoapServer(tb.appliance_host, fabric)
+    agent = CyberaideAgent(tb.appliance_host, tb, AgentConfig())
+    endpoint = server.deploy(agent.service_description(), agent.handler)
+    client = WsClient(tb.user_hosts[0], fabric)
+    shell = CyberaideShell(client, endpoint)
+    return tb, shell
+
+
+def run(tb, shell, line):
+    return tb.sim.run(until=shell.execute(line))
+
+
+def test_help_and_files():
+    tb, shell = shell_env()
+    assert "commands:" in run(tb, shell, "help")
+    assert run(tb, shell, "files") == "(none)"
+    shell.add_file("a.sh", b"123")
+    assert "a.sh (3 bytes)" in run(tb, shell, "files")
+
+
+def test_commands_require_auth():
+    tb, shell = shell_env()
+    out = run(tb, shell, "sites")
+    assert "not authenticated" in out
+
+
+def test_auth_then_sites():
+    tb, shell = shell_env()
+    out = run(tb, shell, "auth ada pw")
+    assert out.startswith("authenticated")
+    assert run(tb, shell, "sites") == "ncsa"
+
+
+def test_auth_failure_is_reported_not_raised():
+    tb, shell = shell_env()
+    out = run(tb, shell, "auth ada wrong")
+    assert out.startswith("error:")
+    assert shell.session is None
+
+
+def test_run_and_output_roundtrip():
+    tb, shell = shell_env()
+    shell.add_file("echo.sh", make_payload("echo", size=int(KB(1))))
+    run(tb, shell, "auth ada pw")
+    out = run(tb, shell, "run ncsa echo.sh hello world")
+    assert out.startswith("submitted: ")
+    job_id = out.split(": ")[1]
+
+    def wait_then_output():
+        yield tb.sim.timeout(30.0)
+        return (yield shell.execute(f"output ncsa {job_id}"))
+
+    result = tb.sim.run(until=tb.sim.process(wait_then_output()))
+    assert result == "hello\nworld\n"
+
+
+def test_status_reflects_agent_limitation():
+    tb, shell = shell_env()
+    run(tb, shell, "auth ada pw")
+    out = run(tb, shell, "status ncsa some-job")
+    assert "error:" in out and "not retrievable" in out
+
+
+def test_usage_errors():
+    tb, shell = shell_env()
+    run(tb, shell, "auth ada pw")
+    assert "usage:" in run(tb, shell, "auth onlyone")
+    assert "usage:" in run(tb, shell, "run ncsa")
+    assert "no local file" in run(tb, shell, "run ncsa ghost.sh")
+    assert "unknown command" in run(tb, shell, "frobnicate")
+    assert "error" in run(tb, shell, 'run "unclosed')
+    assert run(tb, shell, "") == ""
+    assert len(shell.history) >= 6

@@ -1,0 +1,99 @@
+"""Tests for the extended shell commands: cancel, discover, invoke."""
+
+import pytest
+
+from repro.core import deploy_onserve
+from repro.cyberaide import CyberaideShell
+from repro.grid import JobState, build_testbed
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+from repro.ws import WsClient
+
+
+@pytest.fixture()
+def env():
+    tb = build_testbed(n_sites=1, nodes_per_site=2, cores_per_node=4,
+                       appliance_uplink=Mbps(10))
+    stack = tb.sim.run(until=deploy_onserve(tb))
+    tb.new_grid_identity("ada", "pw")
+    shell = CyberaideShell(
+        WsClient(tb.user_hosts[0], stack.fabric),
+        stack.soap_server.endpoint_for("CyberaideAgent"),
+        inquiry_endpoint=stack.soap_server.endpoint_for("UddiInquiry"))
+    tb.sim.run(until=shell.execute("auth ada pw"))
+    return tb, stack, shell
+
+
+def run(tb, shell, line):
+    return tb.sim.run(until=shell.execute(line))
+
+
+def test_cancel_running_job(env):
+    tb, stack, shell = env
+    shell.add_file("long.sh", make_payload("fixed", runtime="1000"))
+    out = run(tb, shell, "run ncsa long.sh")
+    job_id = out.split(": ")[1]
+
+    def later():
+        yield tb.sim.timeout(5.0)
+        return (yield shell.execute(f"cancel ncsa {job_id}"))
+
+    result = tb.sim.run(until=tb.sim.process(later()))
+    assert "canceled" in result
+    assert tb.site("ncsa").get_job(job_id).state is JobState.CANCELED
+
+
+def test_cancel_usage(env):
+    tb, stack, shell = env
+    assert "usage:" in run(tb, shell, "cancel onlyone")
+
+
+def test_discover_lists_published_services(env):
+    tb, stack, shell = env
+    payload = make_payload("echo", size=int(KB(1)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "hello.sh", payload, description="greets",
+        params_spec="name:string"))
+    out = run(tb, shell, "discover %Service")
+    assert "HelloService" in out and "greets" in out
+    assert run(tb, shell, "discover Nothing%") == "(no services match)"
+
+
+def test_invoke_coerces_types_from_wsdl(env):
+    tb, stack, shell = env
+    payload = make_payload("mcpi", size=int(KB(2)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "pi.sh", payload,
+        params_spec="samples:int, seed:int"))
+    out = run(tb, shell, "invoke Pi% samples=20000 seed=1")
+    assert "pi_estimate=" in out
+
+
+def test_invoke_reports_parameter_problems(env):
+    tb, stack, shell = env
+    payload = make_payload("echo", size=int(KB(1)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "e.sh", payload, params_spec="a:string"))
+    assert "missing parameter" in run(tb, shell, "invoke E%")
+    assert "unknown parameters" in run(tb, shell, "invoke E% a=x b=y")
+    assert "bad parameter" in run(tb, shell, "invoke E% justvalue")
+    assert "no service matches" in run(tb, shell, "invoke Zzz% a=1")
+
+
+def test_invoke_bad_type_coercion(env):
+    tb, stack, shell = env
+    payload = make_payload("mcpi", size=int(KB(1)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "p2.sh", payload, params_spec="samples:int, seed:int"))
+    out = run(tb, shell, "invoke P2% samples=lots seed=1")
+    assert "cannot read 'lots' as xsd:int" in out
+
+
+def test_discover_requires_inquiry_endpoint():
+    tb = build_testbed(n_sites=1, nodes_per_site=1, cores_per_node=2,
+                       appliance_uplink=Mbps(10))
+    stack = tb.sim.run(until=deploy_onserve(tb))
+    shell = CyberaideShell(WsClient(tb.user_hosts[0], stack.fabric),
+                           stack.soap_server.endpoint_for("CyberaideAgent"))
+    out = tb.sim.run(until=shell.execute("discover %"))
+    assert "no UDDI inquiry endpoint" in out

@@ -1,0 +1,131 @@
+"""Tests for the Cyberaide workflow engine."""
+
+import pytest
+
+from repro.cyberaide import (
+    AgentConfig, CyberaideAgent, CyberaideJobSpec, NodeState, Workflow,
+    WorkflowNode, WorkflowRunner,
+)
+from repro.errors import ReproError
+from repro.grid import build_testbed
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+from repro.ws import SoapFabric, SoapServer, WsClient, generate_stub
+
+
+@pytest.fixture()
+def env():
+    tb = build_testbed(n_sites=1, nodes_per_site=4, cores_per_node=4,
+                       appliance_uplink=Mbps(20))
+    tb.new_grid_identity("ada", "pw")
+    fabric = SoapFabric()
+    server = SoapServer(tb.appliance_host, fabric)
+    agent = CyberaideAgent(tb.appliance_host, tb, AgentConfig())
+    server.deploy(agent.service_description(), agent.handler)
+    stub = generate_stub(server.wsdl(agent.SERVICE_NAME))(
+        WsClient(tb.appliance_host, fabric))
+    runner = WorkflowRunner(tb.sim, stub, site="ncsa", poll_interval=3.0)
+    return tb, runner
+
+
+def node(name, runtime="5", deps=(), payload=None):
+    payload = payload or make_payload("fixed", size=int(KB(1)),
+                                      runtime=runtime, output_bytes="256")
+    return WorkflowNode(name, CyberaideJobSpec(f"{name}.bin"),
+                        payload, depends_on=deps)
+
+
+def test_linear_chain_runs_in_order(env):
+    tb, runner = env
+    wf = Workflow("chain")
+    wf.add(node("a"))
+    wf.add(node("b", deps=("a",)))
+    wf.add(node("c", deps=("b",)))
+    result = tb.sim.run(until=runner.run(wf, "ada", "pw"))
+    assert all(n.state is NodeState.DONE for n in result.nodes.values())
+    a, b, c = wf.nodes["a"], wf.nodes["b"], wf.nodes["c"]
+    assert a.finished_at <= b.started_at
+    assert b.finished_at <= c.started_at
+    assert a.output.startswith(b"fixed-profile")
+
+
+def test_diamond_runs_branches_in_parallel(env):
+    tb, runner = env
+    wf = Workflow("diamond")
+    wf.add(node("src", runtime="5"))
+    wf.add(node("left", runtime="30", deps=("src",)))
+    wf.add(node("right", runtime="30", deps=("src",)))
+    wf.add(node("sink", runtime="5", deps=("left", "right")))
+    tb.sim.run(until=runner.run(wf, "ada", "pw"))
+    left, right = wf.nodes["left"], wf.nodes["right"]
+    # Parallel branches overlap in time.
+    assert left.started_at < right.finished_at
+    assert right.started_at < left.finished_at
+    assert wf.summary() == {"done": 4}
+
+
+def test_failure_poisons_descendants_only(env):
+    tb, runner = env
+    wf = Workflow("poison")
+    # "bad" exceeds its queue walltime -> killed on the grid.
+    bad_spec = CyberaideJobSpec("bad.bin", max_wall_time=30)
+    bad_payload = make_payload("fixed", size=int(KB(1)), runtime="300")
+    wf.add(WorkflowNode("bad", bad_spec, bad_payload))
+    wf.add(node("child", deps=("bad",)))
+    wf.add(node("grandchild", deps=("child",)))
+    wf.add(node("independent"))
+    runner.max_node_seconds = 120.0
+    tb.sim.run(until=runner.run(wf, "ada", "pw"))
+    assert wf.nodes["bad"].state is NodeState.FAILED
+    assert wf.nodes["child"].state is NodeState.POISONED
+    assert wf.nodes["grandchild"].state is NodeState.POISONED
+    assert wf.nodes["independent"].state is NodeState.DONE
+    summary = wf.summary()
+    assert summary["failed"] == 1 and summary["poisoned"] == 2
+
+
+def test_shared_executable_uploaded_once(env):
+    tb, runner = env
+    payload = make_payload("fixed", size=int(KB(2)), runtime="3")
+    wf = Workflow("shared")
+    spec = CyberaideJobSpec("same.bin")
+    wf.add(WorkflowNode("one", CyberaideJobSpec("same.bin"), payload))
+    wf.add(WorkflowNode("two", CyberaideJobSpec("same.bin"), payload,
+                        depends_on=("one",)))
+    agent = None
+    # Find the in-process agent to read its counters.
+    tb.sim.run(until=runner.run(wf, "ada", "pw"))
+    assert wf.summary() == {"done": 2}
+    # One distinct staged path -> one upload.
+    # (the runner's stub wraps the agent; counters live on the site FTP)
+    assert tb.ftp("ncsa").transfers_in == 1
+
+
+def test_validation_errors(env):
+    tb, runner = env
+    wf = Workflow("broken")
+    wf.add(node("a", deps=("ghost",)))
+    with pytest.raises(ReproError, match="unknown"):
+        wf.validate()
+
+    cyc = Workflow("cycle")
+    cyc.add(node("x", deps=("y",)))
+    cyc.add(node("y", deps=("x",)))
+    with pytest.raises(ReproError, match="cycle"):
+        cyc.validate()
+
+    dup = Workflow("dup")
+    dup.add(node("n"))
+    with pytest.raises(ReproError, match="duplicate"):
+        dup.add(node("n"))
+
+    with pytest.raises(ReproError, match="name"):
+        WorkflowNode("", CyberaideJobSpec("x.bin"), b"p")
+
+
+def test_bad_credentials_fail_run(env):
+    tb, runner = env
+    wf = Workflow("auth")
+    wf.add(node("a"))
+    with pytest.raises(Exception):
+        tb.sim.run(until=runner.run(wf, "ada", "wrong"))

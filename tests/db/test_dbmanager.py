@@ -1,0 +1,126 @@
+"""Unit tests for the DbManager facade (simulated-cost executable store)."""
+
+import pytest
+
+from repro.db import DbManager
+from repro.db.dbmanager import DbCostModel
+from repro.errors import RecordNotFound
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+from repro.units import KB, MB
+
+
+def make_env(disk_bw=MB(50)):
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "appliance", net,
+                HostSpec(cores=2, disk_bandwidth=disk_bw, disk_latency=0.0))
+    return sim, host, DbManager(host)
+
+
+def test_store_load_roundtrip():
+    sim, host, mgr = make_env()
+    payload = b"#!/bin/sh\necho hello\n" * 100
+
+    def flow():
+        yield mgr.store_executable("hello.sh", payload, description="greeter",
+                                   params_spec="name:TEXT")
+        exe = yield mgr.load_executable("hello.sh")
+        return exe
+
+    proc = sim.process(flow())
+    exe = sim.run(until=proc)
+    assert exe.payload == payload
+    assert exe.description == "greeter"
+    assert exe.params_spec == "name:TEXT"
+    assert exe.size == len(payload)
+    assert 0 < exe.compressed_size < len(payload)
+
+
+def test_load_missing_raises():
+    sim, host, mgr = make_env()
+
+    def flow():
+        yield mgr.load_executable("ghost")
+
+    proc = sim.process(flow())
+    with pytest.raises(RecordNotFound):
+        sim.run(until=proc)
+
+
+def test_store_overwrites_existing():
+    sim, host, mgr = make_env()
+
+    def flow():
+        yield mgr.store_executable("x", b"version one")
+        yield mgr.store_executable("x", b"version two")
+        exe = yield mgr.load_executable("x")
+        return exe
+
+    proc = sim.process(flow())
+    exe = sim.run(until=proc)
+    assert exe.payload == b"version two"
+    assert len(mgr.list_executables()) == 1
+
+
+def test_delete_executable():
+    sim, host, mgr = make_env()
+
+    def flow():
+        yield mgr.store_executable("x", b"data")
+        first = yield mgr.delete_executable("x")
+        second = yield mgr.delete_executable("x")
+        return first, second
+
+    proc = sim.process(flow())
+    first, second = sim.run(until=proc)
+    assert first is True
+    assert second is False
+    assert not mgr.has_executable("x")
+
+
+def test_store_takes_simulated_time():
+    sim, host, mgr = make_env(disk_bw=KB(10))
+    payload = bytes(range(256)) * 4096  # ~1 MB, poorly compressible
+
+    def flow():
+        yield mgr.store_executable("big", payload)
+
+    proc = sim.process(flow())
+    sim.run(until=proc)
+    assert sim.now > 0.1  # disk at 10 KB/s makes this clearly non-instant
+    assert host.disk.bytes_written() > 0
+
+
+def test_load_charges_cpu_for_decompression():
+    sim, host, mgr = make_env()
+
+    def flow():
+        yield mgr.store_executable("x", b"a" * int(MB(2)))
+        busy_before = host.cpu.busy_core_seconds()
+        yield mgr.load_executable("x")
+        return host.cpu.busy_core_seconds() - busy_before
+
+    proc = sim.process(flow())
+    cpu_used = sim.run(until=proc)
+    expected = DbCostModel().decompress_cpu_per_mb * 2
+    assert cpu_used >= expected * 0.9
+
+
+def test_metadata_queries():
+    sim, host, mgr = make_env()
+
+    def flow():
+        yield mgr.store_executable("a", b"xyz" * 1000, description="d")
+
+    sim.run(until=sim.process(flow()))
+    listing = mgr.list_executables()
+    assert len(listing) == 1
+    assert listing[0]["name"] == "a"
+    assert "data" not in listing[0]
+    sizes = mgr.executable_sizes("a")
+    assert sizes["size"] == 3000
+    assert sizes["compressed_size"] > 0
+    assert mgr.has_executable("a")
+    assert not mgr.has_executable("b")

@@ -1,0 +1,232 @@
+"""Unit tests for the database engine: DML, transactions, recovery."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.table import Column
+from repro.errors import DatabaseError, RecordNotFound, TransactionError
+
+
+def fresh_db():
+    db = Database()
+    db.create_table("users", [
+        Column("id", "INT", primary_key=True),
+        Column("name", "TEXT", nullable=False),
+        Column("score", "REAL"),
+    ])
+    return db
+
+
+def test_insert_select():
+    db = fresh_db()
+    db.insert("users", [1, "ada", 9.5])
+    db.insert("users", [2, "bob", None])
+    rows = db.select("users")
+    assert len(rows) == 2
+    assert rows[0] == {"id": 1, "name": "ada", "score": 9.5}
+
+
+def test_select_with_predicate_and_projection():
+    db = fresh_db()
+    for i in range(5):
+        db.insert("users", [i, f"u{i}", float(i)])
+    rows = db.select("users", predicate=lambda r: r["score"] >= 3,
+                     columns=["name"])
+    assert rows == [{"name": "u3"}, {"name": "u4"}]
+
+
+def test_update_where():
+    db = fresh_db()
+    db.insert("users", [1, "ada", 1.0])
+    db.insert("users", [2, "bob", 2.0])
+    n = db.update_where("users", {"score": 0.0},
+                        predicate=lambda r: r["name"] == "bob")
+    assert n == 1
+    assert db.get_by_pk("users", 2)["score"] == 0.0
+    assert db.get_by_pk("users", 1)["score"] == 1.0
+
+
+def test_delete_where():
+    db = fresh_db()
+    for i in range(4):
+        db.insert("users", [i, f"u{i}", None])
+    assert db.delete_where("users", lambda r: r["id"] % 2 == 0) == 2
+    assert db.count("users") == 2
+
+
+def test_get_by_pk_missing():
+    db = fresh_db()
+    with pytest.raises(RecordNotFound):
+        db.get_by_pk("users", 42)
+
+
+def test_missing_table_errors():
+    db = Database()
+    with pytest.raises(DatabaseError, match="no such table"):
+        db.insert("nope", [1])
+    with pytest.raises(DatabaseError):
+        db.create_table("t", [Column("a", "INT")]) or db.create_table(
+            "t", [Column("a", "INT")])
+
+
+def test_drop_table():
+    db = fresh_db()
+    db.drop_table("users")
+    with pytest.raises(DatabaseError):
+        db.select("users")
+
+
+# ------------------------------------------------------------ transactions
+
+def test_rollback_undoes_insert_update_delete():
+    db = fresh_db()
+    db.insert("users", [1, "ada", 1.0])
+    db.begin()
+    db.insert("users", [2, "bob", 2.0])
+    db.update_where("users", {"score": 99.0}, lambda r: r["id"] == 1)
+    db.delete_where("users", lambda r: r["id"] == 1)
+    db.rollback()
+    rows = db.select("users")
+    assert rows == [{"id": 1, "name": "ada", "score": 1.0}]
+
+
+def test_transaction_context_manager():
+    db = fresh_db()
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.insert("users", [1, "ada", None])
+            raise RuntimeError("abort!")
+    assert db.count("users") == 0
+    with db.transaction():
+        db.insert("users", [1, "ada", None])
+    assert db.count("users") == 1
+
+
+def test_nested_transaction_rejected():
+    db = fresh_db()
+    db.begin()
+    with pytest.raises(TransactionError):
+        db.begin()
+    db.commit()
+    with pytest.raises(TransactionError):
+        db.commit()
+    with pytest.raises(TransactionError):
+        db.rollback()
+
+
+def test_rollback_restores_pk_slot():
+    db = fresh_db()
+    db.begin()
+    db.insert("users", [1, "ada", None])
+    db.rollback()
+    db.insert("users", [1, "someone-else", None])  # pk slot is free again
+    assert db.get_by_pk("users", 1)["name"] == "someone-else"
+
+
+# ------------------------------------------------------------ indexes
+
+def test_find_eq_uses_index_and_stays_consistent():
+    db = fresh_db()
+    db.create_index("users", "name", "hash")
+    db.insert("users", [1, "ada", None])
+    db.insert("users", [2, "ada", None])
+    db.insert("users", [3, "bob", None])
+    assert {r["id"] for r in db.find_eq("users", "name", "ada")} == {1, 2}
+    db.update_where("users", {"name": "carol"}, lambda r: r["id"] == 2)
+    assert {r["id"] for r in db.find_eq("users", "name", "ada")} == {1}
+    assert {r["id"] for r in db.find_eq("users", "name", "carol")} == {2}
+    db.delete_where("users", lambda r: r["id"] == 1)
+    assert db.find_eq("users", "name", "ada") == []
+
+
+def test_index_backfill_on_create():
+    db = fresh_db()
+    db.insert("users", [1, "ada", None])
+    db.create_index("users", "name")
+    assert db.find_eq("users", "name", "ada")[0]["id"] == 1
+
+
+def test_duplicate_index_rejected():
+    db = fresh_db()
+    db.create_index("users", "name")
+    with pytest.raises(DatabaseError):
+        db.create_index("users", "name")
+    with pytest.raises(DatabaseError):
+        db.create_index("users", "nope")
+
+
+# ------------------------------------------------------------ recovery
+
+def test_recover_committed_data():
+    db = fresh_db()
+    db.insert("users", [1, "ada", 1.5])
+    db.insert("users", [2, "bob", None])
+    db.delete_where("users", lambda r: r["id"] == 2)
+    recovered = Database.recover(db.wal.snapshot())
+    assert recovered.select("users") == [{"id": 1, "name": "ada", "score": 1.5}]
+
+
+def test_recover_discards_uncommitted():
+    db = fresh_db()
+    db.insert("users", [1, "ada", None])
+    db.begin()
+    db.insert("users", [2, "bob", None])
+    # Crash before commit: snapshot now.
+    image = db.wal.snapshot()
+    recovered = Database.recover(image)
+    assert [r["id"] for r in recovered.select("users")] == [1]
+
+
+def test_recover_survives_torn_tail():
+    db = fresh_db()
+    db.insert("users", [1, "ada", None])
+    good = db.wal.snapshot()
+    db.insert("users", [2, "bob", None])
+    torn = db.wal.snapshot()[: len(good) + 7]  # rip the last txn mid-frame
+    recovered = Database.recover(torn)
+    assert [r["id"] for r in recovered.select("users")] == [1]
+
+
+def test_recover_replays_updates():
+    db = fresh_db()
+    db.insert("users", [1, "ada", 1.0])
+    db.update_where("users", {"score": 7.0}, lambda r: r["id"] == 1)
+    recovered = Database.recover(db.wal.snapshot())
+    assert recovered.get_by_pk("users", 1)["score"] == 7.0
+
+
+def test_recover_preserves_indexes():
+    db = fresh_db()
+    db.create_index("users", "name")
+    db.insert("users", [1, "ada", None])
+    recovered = Database.recover(db.wal.snapshot())
+    assert recovered.find_eq("users", "name", "ada")[0]["id"] == 1
+    assert ("users", "name") in recovered._indexes
+
+
+def test_checkpoint_compacts_and_preserves_state():
+    db = fresh_db()
+    for i in range(20):
+        db.insert("users", [i, f"u{i}", None])
+    db.delete_where("users", lambda r: r["id"] >= 10)
+    size_before = db.wal.size()
+    db.checkpoint()
+    assert db.wal.size() < size_before
+    recovered = Database.recover(db.wal.snapshot())
+    assert recovered.count("users") == 10
+
+
+def test_checkpoint_inside_txn_rejected():
+    db = fresh_db()
+    db.begin()
+    with pytest.raises(TransactionError):
+        db.checkpoint()
+
+
+def test_writes_continue_after_recovery():
+    db = fresh_db()
+    db.insert("users", [1, "ada", None])
+    recovered = Database.recover(db.wal.snapshot())
+    recovered.insert("users", [2, "bob", None])
+    again = Database.recover(recovered.wal.snapshot())
+    assert again.count("users") == 2

@@ -1,0 +1,64 @@
+"""Unit tests for secondary indexes."""
+
+from repro.db.index import HashIndex, SortedIndex
+
+
+def test_hash_index_add_find_remove():
+    idx = HashIndex("t", "c")
+    idx.add("x", 1)
+    idx.add("x", 2)
+    idx.add("y", 3)
+    assert idx.find("x") == {1, 2}
+    assert idx.find("y") == {3}
+    assert idx.find("z") == set()
+    idx.remove("x", 1)
+    assert idx.find("x") == {2}
+    idx.remove("x", 2)
+    assert idx.find("x") == set()
+    assert len(idx) == 1
+
+
+def test_hash_index_remove_missing_is_noop():
+    idx = HashIndex("t", "c")
+    idx.remove("never", 1)  # no error
+    idx.add("a", 1)
+    idx.remove("a", 99)  # rowid not present
+    assert idx.find("a") == {1}
+
+
+def test_hash_index_bytearray_keys():
+    idx = HashIndex("t", "c")
+    idx.add(bytearray(b"blob"), 1)
+    assert idx.find(b"blob") == {1}
+
+
+def test_sorted_index_range_closed():
+    idx = SortedIndex("t", "c")
+    for i, v in enumerate([10, 20, 30, 40, 50]):
+        idx.add(v, i)
+    assert list(idx.range(lo=20, hi=40)) == [1, 2, 3]
+
+
+def test_sorted_index_range_open_bounds():
+    idx = SortedIndex("t", "c")
+    for i, v in enumerate([10, 20, 30, 40, 50]):
+        idx.add(v, i)
+    assert list(idx.range(lo=20, hi=40, lo_open=True, hi_open=True)) == [2]
+    assert list(idx.range()) == [0, 1, 2, 3, 4]
+    assert list(idx.range(hi=10)) == [0]
+
+
+def test_sorted_index_duplicates_and_removal():
+    idx = SortedIndex("t", "c")
+    idx.add(5, 1)
+    idx.add(5, 2)
+    assert list(idx.range(lo=5, hi=5)) == [1, 2]
+    idx.remove(5, 1)
+    assert list(idx.range(lo=5, hi=5)) == [2]
+
+
+def test_sorted_index_ignores_null():
+    idx = SortedIndex("t", "c")
+    idx.add(None, 1)
+    assert len(idx) == 0
+    idx.remove(None, 1)  # no error

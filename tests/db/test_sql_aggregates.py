@@ -1,0 +1,98 @@
+"""Unit tests for SQL aggregate functions and GROUP BY."""
+
+import pytest
+
+from repro.db import Database, execute_sql
+from repro.errors import SqlError
+
+
+def scores_db():
+    db = Database()
+    execute_sql(db, "CREATE TABLE s (id INT PRIMARY KEY, team TEXT, "
+                    "points REAL)")
+    rows = [(1, "red", 10.0), (2, "red", 20.0), (3, "blue", 5.0),
+            (4, "blue", None), (5, "green", 7.5)]
+    for r in rows:
+        db.insert("s", list(r))
+    return db
+
+
+def test_count_star():
+    db = scores_db()
+    assert execute_sql(db, "SELECT COUNT(*) FROM s") == [{"count(*)": 5}]
+
+
+def test_count_column_ignores_null():
+    db = scores_db()
+    assert execute_sql(db, "SELECT COUNT(points) FROM s") == [
+        {"count(points)": 4}]
+
+
+def test_sum_avg_min_max():
+    db = scores_db()
+    row = execute_sql(db, "SELECT SUM(points), AVG(points), MIN(points), "
+                          "MAX(points) FROM s")[0]
+    assert row["sum(points)"] == pytest.approx(42.5)
+    assert row["avg(points)"] == pytest.approx(42.5 / 4)
+    assert row["min(points)"] == 5.0
+    assert row["max(points)"] == 20.0
+
+
+def test_aggregate_with_where():
+    db = scores_db()
+    assert execute_sql(db, "SELECT COUNT(*) FROM s WHERE team = 'red'") == [
+        {"count(*)": 2}]
+
+
+def test_aggregates_on_empty_input():
+    db = scores_db()
+    row = execute_sql(db, "SELECT COUNT(*), SUM(points) FROM s "
+                          "WHERE team = 'nope'")[0]
+    assert row == {"count(*)": 0, "sum(points)": None}
+
+
+def test_group_by():
+    db = scores_db()
+    rows = execute_sql(db, "SELECT team, COUNT(*), SUM(points) FROM s "
+                           "GROUP BY team")
+    assert rows == [
+        {"team": "blue", "count(*)": 2, "sum(points)": 5.0},
+        {"team": "green", "count(*)": 1, "sum(points)": 7.5},
+        {"team": "red", "count(*)": 2, "sum(points)": 30.0},
+    ]
+
+
+def test_group_by_with_order_and_limit():
+    db = scores_db()
+    rows = execute_sql(db, "SELECT team, MAX(points) FROM s GROUP BY team "
+                           "ORDER BY team DESC LIMIT 2")
+    assert [r["team"] for r in rows] == ["red", "green"]
+
+
+def test_group_by_null_group():
+    db = scores_db()
+    db.insert("s", [6, None, 1.0])
+    rows = execute_sql(db, "SELECT team, COUNT(*) FROM s GROUP BY team")
+    # The NULL group sorts last and is present.
+    assert rows[-1]["team"] is None
+    assert rows[-1]["count(*)"] == 1
+
+
+def test_aggregate_validation():
+    db = scores_db()
+    with pytest.raises(SqlError, match="only COUNT"):
+        execute_sql(db, "SELECT SUM(*) FROM s")
+    with pytest.raises(SqlError, match="GROUP BY"):
+        execute_sql(db, "SELECT team, COUNT(*) FROM s")
+    with pytest.raises(SqlError, match="requires at least one aggregate"):
+        execute_sql(db, "SELECT team FROM s GROUP BY team")
+    with pytest.raises(SqlError, match="no such column"):
+        execute_sql(db, "SELECT SUM(nope) FROM s")
+    with pytest.raises(SqlError, match="no such column"):
+        execute_sql(db, "SELECT COUNT(*) FROM s GROUP BY nope")
+
+
+def test_plain_selects_unaffected():
+    db = scores_db()
+    rows = execute_sql(db, "SELECT id FROM s ORDER BY id LIMIT 2")
+    assert [r["id"] for r in rows] == [1, 2]

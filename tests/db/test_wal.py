@@ -1,0 +1,94 @@
+"""Unit tests for the write-ahead log and its value codec."""
+
+import io
+
+import pytest
+
+from repro.db.wal import WriteAheadLog, decode_value, encode_value
+from repro.errors import DatabaseError
+
+
+def roundtrip(value):
+    buf = io.BytesIO()
+    encode_value(value, buf)
+    return decode_value(io.BytesIO(buf.getvalue()))
+
+
+def test_codec_roundtrips_scalars():
+    for v in (None, 0, -5, 2**70, 3.14, -0.0, "", "héllo", b"", b"\x00\xff",
+              [1, "a", None, [b"x"]]):
+        got = roundtrip(v)
+        if isinstance(v, tuple):
+            v = list(v)
+        assert got == v
+
+
+def test_codec_rejects_bool_and_unknown():
+    buf = io.BytesIO()
+    with pytest.raises(DatabaseError):
+        encode_value(True, buf)
+    with pytest.raises(DatabaseError):
+        encode_value(object(), buf)
+
+
+def test_codec_truncated_raises():
+    buf = io.BytesIO()
+    encode_value("hello world", buf)
+    data = buf.getvalue()
+    with pytest.raises(DatabaseError, match="truncated"):
+        decode_value(io.BytesIO(data[:-3]))
+
+
+def test_wal_append_and_read():
+    wal = WriteAheadLog()
+    wal.append(("begin", 1))
+    wal.append(("insert", 1, "t", 1, [1, "x", b"blob"]))
+    wal.append(("commit", 1))
+    records = list(wal.records())
+    assert records == [
+        ("begin", 1),
+        ("insert", 1, "t", 1, [1, "x", b"blob"]),
+        ("commit", 1),
+    ]
+
+
+def test_wal_torn_tail_ignored():
+    wal = WriteAheadLog()
+    wal.append(("begin", 1))
+    size_after_first = wal.size()
+    wal.append(("commit", 1))
+    wal.truncate(size_after_first + 3)  # tear the second record
+    assert list(wal.records()) == [("begin", 1)]
+
+
+def test_wal_corrupt_frame_stops_replay():
+    wal = WriteAheadLog()
+    wal.append(("begin", 1))
+    first = wal.size()
+    wal.append(("commit", 1))
+    wal.append(("begin", 2))
+    wal.corrupt(first + 10)  # flip a byte inside the second record
+    records = list(wal.records())
+    assert records == [("begin", 1)]  # everything after the damage is dropped
+
+
+def test_wal_snapshot_reload():
+    wal = WriteAheadLog()
+    wal.append(("x", 1))
+    clone = WriteAheadLog(wal.snapshot())
+    assert list(clone.records()) == [("x", 1)]
+
+
+def test_wal_reset():
+    wal = WriteAheadLog()
+    wal.append(("x", 1))
+    wal.reset()
+    assert wal.size() == 0
+    assert list(wal.records()) == []
+
+
+def test_wal_len_counts_valid_records():
+    wal = WriteAheadLog()
+    for i in range(5):
+        wal.append(("r", i))
+    assert len(wal) == 5

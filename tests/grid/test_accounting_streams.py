@@ -1,0 +1,212 @@
+"""Tests for grid accounting and GridFTP parallel streams."""
+
+import pytest
+
+from repro.errors import GridError, TransferError
+from repro.grid import JobDescription, build_testbed
+from repro.grid.accounting import AccountingService
+from repro.grid.rsl import generate_rsl
+from repro.simkernel import Simulator
+from repro.units import KB, KBps, MB, Mbps
+from repro.workloads import make_payload
+
+
+def quick_testbed(**kw):
+    kw.setdefault("n_sites", 2)
+    kw.setdefault("nodes_per_site", 2)
+    kw.setdefault("cores_per_node", 4)
+    kw.setdefault("appliance_uplink", Mbps(10))
+    return build_testbed(**kw)
+
+
+def logon(tb, username="ada"):
+    tb.new_grid_identity(username, "pw")
+    client = tb.appliance_host
+
+    def flow():
+        key, proxy, ee = yield tb.myproxy.logon(client, username, "pw",
+                                                lifetime=3600.0)
+        return [proxy, ee]
+
+    return tb.sim.run(until=tb.sim.process(flow())), client
+
+
+def run_job(tb, chain, client, site="ncsa", runtime=10.0, cores=2,
+            name="/exe", walltime=3600):
+    payload = make_payload("fixed", size=1024, runtime=str(runtime))
+    rsl = generate_rsl(JobDescription(executable=name, count=cores,
+                                      max_wall_time=walltime))
+
+    def flow():
+        yield tb.ftp(site).put(client, chain, name, payload)
+        job_id = yield tb.gram(site).submit(client, chain, rsl)
+        job = yield tb.gram(site).completion_event(job_id)
+        return job
+
+    return tb.sim.run(until=tb.sim.process(flow()))
+
+
+# ---------------------------------------------------------------- accounting
+
+def test_accounting_records_completed_jobs():
+    tb = quick_testbed()
+    acct = AccountingService()
+    for site in tb.sites:
+        acct.attach(site)
+    chain, client = logon(tb)
+    job = run_job(tb, chain, client, runtime=10.0, cores=2)
+    assert acct.total_jobs() == 1
+    usage = acct.core_seconds_by_owner()
+    assert usage["/O=ReproGrid/CN=ada"] == pytest.approx(20.0)
+    assert acct.jobs_by_state() == {"done": 1}
+
+
+def test_accounting_aggregates_across_owners_and_sites():
+    tb = quick_testbed()
+    acct = AccountingService()
+    for site in tb.sites:
+        acct.attach(site)
+    chain_a, client = logon(tb, "ada")
+    chain_b, _ = logon(tb, "bob")
+    run_job(tb, chain_a, client, site="ncsa", runtime=10.0, cores=1,
+            name="/a")
+    run_job(tb, chain_b, client, site="ncsa", runtime=20.0, cores=2,
+            name="/b")
+    run_job(tb, chain_b, client, site="sdsc", runtime=5.0, cores=4,
+            name="/c")
+    usage = acct.core_seconds_by_owner()
+    assert usage["/O=ReproGrid/CN=ada"] == pytest.approx(10.0)
+    assert usage["/O=ReproGrid/CN=bob"] == pytest.approx(60.0)
+    ncsa = acct.site_report("ncsa")
+    assert ncsa["jobs"] == 2
+    assert ncsa["core_seconds"] == pytest.approx(50.0)
+    assert ncsa["widest_job"] == 2
+    assert len(acct.records_for("/O=ReproGrid/CN=bob")) == 2
+
+
+def test_accounting_records_failures_too():
+    tb = quick_testbed()
+    acct = AccountingService()
+    acct.attach(tb.site("ncsa"))
+    chain, client = logon(tb)
+    job = run_job(tb, chain, client, runtime=500.0, walltime=60)
+    assert job.state.value == "failed"
+    states = acct.jobs_by_state()
+    assert states == {"failed": 1}
+    # Walltime kills still bill the occupied cores.
+    usage = acct.core_seconds_by_owner()
+    assert usage["/O=ReproGrid/CN=ada"] == pytest.approx(120.0)  # 2 x 60 s
+
+
+def test_accounting_double_attach_rejected():
+    tb = quick_testbed()
+    acct = AccountingService()
+    acct.attach(tb.site("ncsa"))
+    with pytest.raises(GridError, match="already attached"):
+        acct.attach(tb.site("ncsa"))
+
+
+def test_record_requires_terminal_job():
+    tb = quick_testbed()
+    acct = AccountingService()
+    site = tb.site("ncsa")
+    job = site.create_job(JobDescription(executable="/x"), owner="/CN=a")
+    with pytest.raises(GridError, match="not terminal"):
+        acct.record("ncsa", job)
+
+
+# ---------------------------------------------------------------- streams
+
+def test_single_vs_multi_stream_alone_is_equal():
+    results = {}
+    for streams in (1, 4):
+        tb = quick_testbed(appliance_uplink=KBps(100))
+        chain, client = logon(tb)
+        payload = make_payload("echo", size=int(KB(400)))
+
+        def flow():
+            t0 = tb.sim.now
+            yield tb.ftp("ncsa").put(client, chain, "/f", payload,
+                                     streams=streams)
+            return tb.sim.now - t0
+
+        results[streams] = tb.sim.run(until=tb.sim.process(flow()))
+    # Alone on the link, stream count barely matters.
+    assert results[4] == pytest.approx(results[1], rel=0.05)
+
+
+def test_multi_stream_wins_under_contention():
+    tb = quick_testbed(appliance_uplink=KBps(100))
+    chain, client = logon(tb)
+    payload = make_payload("echo", size=int(KB(300)))
+    durations = {}
+
+    def competitor():
+        # A long single-stream background transfer hogging the uplink.
+        yield tb.ftp("sdsc").put(client, chain, "/bg",
+                                 make_payload("echo", size=int(KB(2000))))
+
+    def contender(streams, path):
+        yield tb.sim.timeout(1.0)  # let the competitor start
+        t0 = tb.sim.now
+        yield tb.ftp("ncsa").put(client, chain, path, payload,
+                                 streams=streams)
+        durations[streams] = tb.sim.now - t0
+
+    tb.sim.process(competitor())
+    tb.sim.process(contender(4, "/multi"))
+    tb.sim.run()
+
+    tb2 = quick_testbed(appliance_uplink=KBps(100))
+    chain2, client2 = logon(tb2)
+
+    def competitor2():
+        yield tb2.ftp("sdsc").put(client2, chain2, "/bg",
+                                  make_payload("echo", size=int(KB(2000))))
+
+    def contender2():
+        yield tb2.sim.timeout(1.0)
+        t0 = tb2.sim.now
+        yield tb2.ftp("ncsa").put(client2, chain2, "/single", payload,
+                                  streams=1)
+        durations[1] = tb2.sim.now - t0
+
+    tb2.sim.process(competitor2())
+    tb2.sim.process(contender2())
+    tb2.sim.run()
+    # Four streams claim 4/5 of the contended link vs 1/2 for one stream.
+    assert durations[4] < durations[1] * 0.75
+
+
+def test_stream_validation_and_integrity():
+    tb = quick_testbed()
+    chain, client = logon(tb)
+    with pytest.raises(TransferError):
+        tb.ftp("ncsa").put(client, chain, "/f", b"x", streams=0)
+    payload = make_payload("echo", size=12345)  # not stream-divisible
+
+    def flow():
+        yield tb.ftp("ncsa").put(client, chain, "/f", payload, streams=4)
+        return tb.site("ncsa").read_file("/f")
+
+    assert tb.sim.run(until=tb.sim.process(flow())) == payload
+
+
+# ---------------------------------------------------------------- percentiles
+
+def test_timeseries_percentiles():
+    from repro.telemetry import TimeSeries
+
+    s = TimeSeries("s")
+    for i, v in enumerate(range(1, 11)):  # 1..10
+        s.append(float(i), float(v))
+    assert s.percentile(0) == 1.0
+    assert s.percentile(100) == 10.0
+    assert s.percentile(50) == pytest.approx(5.5)
+    summary = s.summary()
+    assert summary["p95"] == pytest.approx(9.55)
+    assert summary["mean"] == pytest.approx(5.5)
+    empty = TimeSeries("e")
+    assert empty.percentile(50) == 0.0
+    with pytest.raises(ValueError):
+        s.percentile(101)

@@ -1,0 +1,60 @@
+"""Tests for heterogeneous node speeds."""
+
+import pytest
+
+from repro.grid import BatchScheduler, GridJob, JobDescription, JobState
+from repro.grid.node import ComputeNode, NodePool
+from repro.grid.site import GridSite
+from repro.hardware import Network
+from repro.simkernel import Simulator
+
+
+def pend(sim, jid="j", cores=1, walltime=1000):
+    job = GridJob(jid, JobDescription(executable="/x", count=cores,
+                                      max_wall_time=walltime),
+                  "/CN=t", sim.now)
+    job.transition(JobState.STAGE_IN, sim.now)
+    job.transition(JobState.PENDING, sim.now)
+    return job
+
+
+def test_fast_node_shortens_runtime():
+    sim = Simulator()
+    pool = NodePool([ComputeNode("fast", 4, speed_factor=2.0)])
+    sched = BatchScheduler(sim, pool)
+    job = pend(sim)
+    done = sched.submit(job, runtime=100.0)
+    finished = sim.run(until=done)
+    assert finished.state is JobState.DONE
+    assert sim.now == pytest.approx(50.0)  # 100 s of work at 2x speed
+
+
+def test_spanning_job_paced_by_slowest_node():
+    sim = Simulator()
+    pool = NodePool([ComputeNode("fast", 2, speed_factor=2.0),
+                     ComputeNode("slow", 2, speed_factor=0.5)])
+    sched = BatchScheduler(sim, pool)
+    job = pend(sim, cores=4)  # spans both nodes
+    done = sched.submit(job, runtime=100.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(200.0)  # slow node sets the pace
+
+
+def test_slow_node_can_cause_walltime_kill():
+    sim = Simulator()
+    pool = NodePool([ComputeNode("slow", 4, speed_factor=0.5)])
+    sched = BatchScheduler(sim, pool)
+    job = pend(sim, walltime=150)
+    done = sched.submit(job, runtime=100.0)  # effectively 200 s > 150
+    finished = sim.run(until=done)
+    assert finished.state is JobState.FAILED
+    assert "walltime" in finished.failure_reason
+    assert sim.now == pytest.approx(150.0)
+
+
+def test_site_node_speed_parameter():
+    sim = Simulator()
+    net = Network(sim)
+    site = GridSite(sim, "fastsite", net, nodes=2, cores_per_node=4,
+                    node_speed=2.0)
+    assert all(n.speed_factor == 2.0 for n in site.pool.nodes)

@@ -1,0 +1,251 @@
+"""Unit tests for job state machine, node pool and batch scheduler."""
+
+import pytest
+
+from repro.errors import GridError, JobError, JobNotFound
+from repro.grid import BatchScheduler, GridJob, JobDescription, JobState
+from repro.grid.node import ComputeNode, NodePool
+from repro.simkernel import Simulator
+
+
+def make_job(sim, job_id="j1", cores=1, walltime=100):
+    desc = JobDescription(executable="/x", count=cores,
+                          max_wall_time=walltime)
+    return GridJob(job_id, desc, owner="/CN=test", submitted_at=sim.now)
+
+
+def pend(job, sim):
+    job.transition(JobState.STAGE_IN, sim.now)
+    job.transition(JobState.PENDING, sim.now)
+    return job
+
+
+# ---------------------------------------------------------------- state machine
+
+def test_legal_lifecycle():
+    sim = Simulator()
+    job = make_job(sim)
+    for state in (JobState.STAGE_IN, JobState.PENDING, JobState.ACTIVE,
+                  JobState.STAGE_OUT, JobState.DONE):
+        job.transition(state, sim.now)
+    assert job.is_terminal
+    assert job.history[JobState.DONE] == 0.0
+
+
+def test_illegal_transition_rejected():
+    sim = Simulator()
+    job = make_job(sim)
+    with pytest.raises(JobError, match="illegal transition"):
+        job.transition(JobState.ACTIVE, sim.now)
+    job.transition(JobState.PENDING, sim.now)
+    job.transition(JobState.ACTIVE, sim.now)
+    job.transition(JobState.DONE, sim.now)
+    with pytest.raises(JobError):
+        job.transition(JobState.ACTIVE, sim.now)
+
+
+def test_progress_tracking():
+    sim = Simulator()
+    job = make_job(sim)
+    assert job.progress(10.0) == 0.0
+    job.transition(JobState.PENDING, 0.0)
+    job.transition(JobState.ACTIVE, 10.0)
+    job.runtime = 20.0
+    job.output_size = 1000
+    assert job.progress(15.0) == pytest.approx(0.25)
+    assert job.output_available(15.0) == 250
+    assert job.progress(100.0) == 1.0
+
+
+# ---------------------------------------------------------------- node pool
+
+def test_pool_allocation_spans_nodes():
+    pool = NodePool([ComputeNode("a", 4), ComputeNode("b", 4)])
+    placement = pool.allocate(6)
+    assert pool.free_cores == 2
+    assert sum(take for _, take in placement) == 6
+    pool.release(placement)
+    assert pool.free_cores == 8
+
+
+def test_pool_over_allocation_rejected():
+    pool = NodePool([ComputeNode("a", 4)])
+    with pytest.raises(GridError):
+        pool.allocate(5)
+    assert pool.free_cores == 4  # nothing leaked
+
+
+def test_node_validation():
+    with pytest.raises(GridError):
+        ComputeNode("x", 0)
+    with pytest.raises(GridError):
+        NodePool([])
+    node = ComputeNode("x", 2)
+    node.allocate(2)
+    with pytest.raises(GridError):
+        node.allocate(1)
+    node.release(2)
+    with pytest.raises(GridError):
+        node.release(1)
+
+
+# ---------------------------------------------------------------- scheduler
+
+def sched(sim, cores=4):
+    return BatchScheduler(sim, NodePool([ComputeNode("n0", cores)]))
+
+
+def test_job_runs_for_runtime():
+    sim = Simulator()
+    s = sched(sim)
+    job = pend(make_job(sim), sim)
+    done = s.submit(job, runtime=25.0)
+    finished = sim.run(until=done)
+    assert finished.state is JobState.DONE
+    assert sim.now == pytest.approx(25.0)
+    assert s.jobs_completed == 1
+
+
+def test_fifo_waits_for_cores():
+    sim = Simulator()
+    s = sched(sim, cores=1)
+    j1 = pend(make_job(sim, "j1"), sim)
+    j2 = pend(make_job(sim, "j2"), sim)
+    s.submit(j1, runtime=10.0)
+    done2 = s.submit(j2, runtime=5.0)
+    sim.run(until=done2)
+    assert j2.started_at == pytest.approx(10.0)
+    assert sim.now == pytest.approx(15.0)
+    assert j2.queue_wait() == pytest.approx(10.0)
+
+
+def test_walltime_kill():
+    sim = Simulator()
+    s = sched(sim)
+    job = pend(make_job(sim, walltime=30), sim)
+    done = s.submit(job, runtime=100.0)
+    finished = sim.run(until=done)
+    assert finished.state is JobState.FAILED
+    assert "walltime" in finished.failure_reason
+    assert sim.now == pytest.approx(30.0)
+    assert s.jobs_failed == 1
+
+
+def test_backfill_small_job_jumps_queue():
+    sim = Simulator()
+    s = sched(sim, cores=4)
+    # j1 occupies all 4 cores for 100 s.
+    j1 = pend(make_job(sim, "j1", cores=4, walltime=100), sim)
+    s.submit(j1, runtime=100.0)
+    # j2 (head of queue) needs 4 cores -> must wait until t=100.
+    j2 = pend(make_job(sim, "j2", cores=4, walltime=50), sim)
+    s.submit(j2, runtime=50.0)
+    # j3 needs 1 core for 100s -> cannot run (no free cores now).
+    # After j1 finishes at t=100, j2 runs; j3 then backfills? No —
+    # j3 should wait. But j4 with 0 free cores can't backfill either.
+    # Instead: release happens at t=100; j2 takes all; j3 runs at 150.
+    j3 = pend(make_job(sim, "j3", cores=1, walltime=100), sim)
+    done3 = s.submit(j3, runtime=10.0)
+    sim.run(until=done3)
+    assert j3.started_at >= 150.0 - 1e-9
+
+
+def test_backfill_uses_idle_cores_without_delaying_head():
+    sim = Simulator()
+    s = sched(sim, cores=4)
+    # Running: 3 cores for 100 s (by walltime).
+    j1 = pend(make_job(sim, "j1", cores=3, walltime=100), sim)
+    s.submit(j1, runtime=100.0)
+    # Head: needs 4 cores -> blocked until t=100 (shadow time).
+    j2 = pend(make_job(sim, "j2", cores=4, walltime=10), sim)
+    s.submit(j2, runtime=10.0)
+    # Small short job: 1 core, walltime 50 -> ends before shadow, backfills.
+    j3 = pend(make_job(sim, "j3", cores=1, walltime=50), sim)
+    done3 = s.submit(j3, runtime=20.0)
+    sim.run(until=done3)
+    assert j3.started_at == pytest.approx(0.0)
+    assert s.jobs_backfilled == 1
+    # And the head was not delayed:
+    sim.run()
+    assert j2.started_at == pytest.approx(100.0)
+
+
+def test_backfill_refuses_job_that_would_delay_head():
+    sim = Simulator()
+    s = sched(sim, cores=4)
+    j1 = pend(make_job(sim, "j1", cores=3, walltime=100), sim)
+    s.submit(j1, runtime=100.0)
+    j2 = pend(make_job(sim, "j2", cores=4, walltime=10), sim)
+    s.submit(j2, runtime=10.0)
+    # 2-core job with walltime 200: ends after shadow AND needs more
+    # than the spare core at shadow time -> must NOT backfill.
+    j3 = pend(make_job(sim, "j3", cores=2, walltime=200), sim)
+    s.submit(j3, runtime=5.0)
+    sim.run()
+    assert j3.started_at > 100.0 - 1e-9
+    assert s.jobs_backfilled == 0
+
+
+def test_backfill_disabled_is_pure_fifo():
+    sim = Simulator()
+    s = BatchScheduler(sim, NodePool([ComputeNode("n0", 4)]),
+                       backfill=False)
+    j1 = pend(make_job(sim, "j1", cores=3, walltime=100), sim)
+    s.submit(j1, runtime=100.0)
+    j2 = pend(make_job(sim, "j2", cores=4, walltime=10), sim)
+    s.submit(j2, runtime=10.0)
+    # This tiny job would backfill under EASY; pure FIFO makes it wait.
+    j3 = pend(make_job(sim, "j3", cores=1, walltime=50), sim)
+    s.submit(j3, runtime=20.0)
+    sim.run()
+    assert s.jobs_backfilled == 0
+    assert j3.started_at >= 110.0 - 1e-9  # after j1 (100 s) and j2 (10 s)
+
+
+def test_cancel_queued_job():
+    sim = Simulator()
+    s = sched(sim, cores=1)
+    j1 = pend(make_job(sim, "j1"), sim)
+    s.submit(j1, runtime=100.0)
+    j2 = pend(make_job(sim, "j2"), sim)
+    done2 = s.submit(j2, runtime=10.0)
+    s.cancel("j2")
+    finished = sim.run(until=done2)
+    assert finished.state is JobState.CANCELED
+    assert s.queued_jobs == 0
+
+
+def test_cancel_running_job_frees_cores():
+    sim = Simulator()
+    s = sched(sim, cores=1)
+    j1 = pend(make_job(sim, "j1"), sim)
+    s.submit(j1, runtime=1000.0)
+
+    def canceller():
+        yield sim.timeout(5.0)
+        s.cancel("j1")
+
+    sim.process(canceller())
+    j2 = pend(make_job(sim, "j2"), sim)
+    done2 = s.submit(j2, runtime=10.0)
+    sim.run(until=done2)
+    assert j1.state is JobState.CANCELED
+    assert j2.started_at == pytest.approx(5.0)
+
+
+def test_cancel_unknown_job():
+    sim = Simulator()
+    s = sched(sim)
+    with pytest.raises(JobNotFound):
+        s.cancel("ghost")
+
+
+def test_submit_validation():
+    sim = Simulator()
+    s = sched(sim, cores=2)
+    job = make_job(sim)  # still UNSUBMITTED
+    with pytest.raises(GridError, match="PENDING"):
+        s.submit(job, runtime=1.0)
+    big = pend(make_job(sim, "big", cores=99), sim)
+    with pytest.raises(GridError, match="only has"):
+        s.submit(big, runtime=1.0)

@@ -1,0 +1,30 @@
+"""Tests for the disk operation log."""
+
+from repro.hardware import Disk
+from repro.simkernel import Simulator
+
+
+def test_op_log_records_time_direction_size():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0, access_latency=0.0)
+
+    def flow():
+        yield disk.write(100.0)
+        yield sim.timeout(5.0)
+        yield disk.read(50.0)
+
+    sim.run(until=sim.process(flow()))
+    assert disk.op_log == [
+        (0.0, "write", 100.0),
+        (5.1, "read", 50.0),
+    ]
+
+
+def test_op_log_orders_concurrent_ops():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1000.0, access_latency=0.0)
+    disk.write(100.0)
+    disk.write(200.0)
+    sim.run()
+    assert [entry[2] for entry in disk.op_log] == [100.0, 200.0]
+    assert all(t == 0.0 for t, _, _ in disk.op_log)

@@ -1,0 +1,110 @@
+"""Unit tests for the network topology and transfer model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import Network
+from repro.simkernel import Simulator
+
+
+def test_direct_transfer_timing():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0)
+    done = net.transfer("a", "b", 1000.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_latency_added_once():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0, latency=0.2)
+    net.connect("b", "c", bandwidth=100.0, latency=0.3)
+    done = net.transfer("a", "c", 100.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(0.5 + 1.0)
+
+
+def test_multi_hop_rated_at_bottleneck():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=1000.0)
+    net.connect("b", "c", bandwidth=10.0)  # bottleneck
+    done = net.transfer("a", "c", 100.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_concurrent_transfers_share_bottleneck():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0)
+    t1 = net.transfer("a", "b", 500.0)
+    t2 = net.transfer("b", "a", 500.0)
+    sim.run()
+    assert t1.value == pytest.approx(10.0)
+    assert t2.value == pytest.approx(10.0)
+
+
+def test_shortest_path_routing():
+    sim = Simulator()
+    net = Network(sim)
+    # Two routes a->d: a-b-d (2 hops) and a-c-e-d (3 hops).
+    net.connect("a", "b", bandwidth=10.0)
+    net.connect("b", "d", bandwidth=10.0)
+    net.connect("a", "c", bandwidth=1000.0)
+    net.connect("c", "e", bandwidth=1000.0)
+    net.connect("e", "d", bandwidth=1000.0)
+    path = net.route("a", "d")
+    assert len(path) == 2
+
+
+def test_route_errors():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=1.0)
+    net.add_host("island")
+    with pytest.raises(HardwareError, match="unknown host"):
+        net.route("a", "nowhere")
+    with pytest.raises(HardwareError, match="no route"):
+        net.route("a", "island")
+
+
+def test_self_link_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(HardwareError):
+        net.connect("a", "a", bandwidth=1.0)
+
+
+def test_per_host_counters():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0)
+    net.connect("b", "c", bandwidth=100.0)
+    net.transfer("a", "b", 100.0)
+    net.transfer("a", "c", 200.0)
+    sim.run()
+    assert net.bytes_out("a") == pytest.approx(300.0)
+    assert net.bytes_in("b") == pytest.approx(100.0)
+    assert net.bytes_in("c") == pytest.approx(200.0)
+    assert net.bytes_out("b") == 0.0
+
+
+def test_counters_show_partial_progress():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0)
+    net.transfer("a", "b", 1000.0)
+    sim.run(until=4.0)
+    assert net.bytes_in("b") == pytest.approx(400.0)
+
+
+def test_zero_byte_transfer():
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=100.0, latency=0.1)
+    done = net.transfer("a", "b", 0.0)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(0.1)

@@ -1,0 +1,118 @@
+"""Property-based tests: hardware conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Cpu, Disk, Network
+from repro.hardware.fairshare import FairShareServer
+from repro.simkernel import Simulator
+
+flows = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),    # arrival time
+        st.floats(min_value=0.1, max_value=5000.0),  # work
+    ),
+    min_size=1, max_size=15,
+)
+
+
+@settings(max_examples=40)
+@given(flows, st.floats(min_value=0.5, max_value=1000.0))
+def test_fairshare_conserves_work(jobs, capacity):
+    """Total work served == total work submitted, whatever the contention."""
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=capacity)
+
+    def submit_later(at, work):
+        yield sim.timeout(at)
+        yield srv.submit(work)
+
+    for at, work in jobs:
+        sim.process(submit_later(at, work))
+    sim.run()
+    assert srv.work_integral() == pytest.approx(sum(w for _, w in jobs))
+
+
+@settings(max_examples=40)
+@given(flows, st.floats(min_value=0.5, max_value=1000.0))
+def test_fairshare_never_exceeds_capacity(jobs, capacity):
+    """Each flow takes at least work/capacity seconds."""
+    sim = Simulator()
+    srv = FairShareServer(sim, capacity=capacity)
+    results = []
+
+    def submit_later(at, work):
+        yield sim.timeout(at)
+        ev = srv.submit(work)
+        elapsed = yield ev
+        results.append((work, elapsed))
+
+    for at, work in jobs:
+        sim.process(submit_later(at, work))
+    sim.run()
+    assert len(results) == len(jobs)
+    for work, elapsed in results:
+        assert elapsed >= work / capacity - 1e-6
+
+
+@settings(max_examples=40)
+@given(flows, st.integers(min_value=1, max_value=8))
+def test_cpu_time_lower_bound(jobs, cores):
+    """No task finishes faster than its cpu_seconds (per-core cap)."""
+    sim = Simulator()
+    cpu = Cpu(sim, cores=cores)
+    results = []
+
+    def run_later(at, work):
+        yield sim.timeout(at)
+        elapsed = yield cpu.compute(work)
+        results.append((work, elapsed))
+
+    for at, work in jobs:
+        sim.process(run_later(at, work))
+    sim.run()
+    for work, elapsed in results:
+        assert elapsed >= work - 1e-6
+    assert cpu.busy_core_seconds() == pytest.approx(sum(w for _, w in jobs))
+
+
+@settings(max_examples=30)
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=10))
+def test_disk_counters_match_submitted_bytes(sizes):
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=1e5, access_latency=0.001)
+    for i, size in enumerate(sizes):
+        if i % 2 == 0:
+            disk.write(size)
+        else:
+            disk.read(size)
+    sim.run()
+    wrote = sum(s for i, s in enumerate(sizes) if i % 2 == 0)
+    read = sum(s for i, s in enumerate(sizes) if i % 2 == 1)
+    assert disk.bytes_written() == pytest.approx(wrote)
+    assert disk.bytes_read() == pytest.approx(read)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.sampled_from(["a", "b", "c"]),
+                          st.floats(min_value=1.0, max_value=1e5)),
+                min_size=1, max_size=12))
+def test_network_in_equals_out(transfers):
+    """Over all hosts, bytes in == bytes out == bytes requested."""
+    sim = Simulator()
+    net = Network(sim)
+    net.connect("a", "b", bandwidth=1e4)
+    net.connect("b", "c", bandwidth=2e4)
+    expected = 0.0
+    for src, dst, size in transfers:
+        net.transfer(src, dst, size)
+        if src != dst:
+            expected += size
+    sim.run()
+    hosts = ["a", "b", "c"]
+    total_in = sum(net.bytes_in(h) for h in hosts)
+    total_out = sum(net.bytes_out(h) for h in hosts)
+    assert total_in == pytest.approx(expected)
+    assert total_out == pytest.approx(expected)

@@ -1,0 +1,34 @@
+"""Render coverage: every result object produces a complete report."""
+
+import pytest
+
+from repro.scenarios import run_fig6, run_fig7
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6()
+
+
+def test_fig6_render_mentions_key_facts(fig6):
+    text = fig6.render()
+    assert "Figure 6" in text
+    assert "security-traffic share" in text
+    assert "tentative output polls" in text
+    assert "appliance.cpu" in text
+    # The sparklines are present (unicode bars or blanks).
+    assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_fig7_render_mentions_paper_comparisons():
+    result = run_fig7()
+    text = result.render()
+    assert "paper: ~60 s" in text
+    assert "paper: 80-90" in text
+    assert "appliance.net_out" in text
+
+
+def test_fig6_series_share_time_base(fig6):
+    times = [s.times for s in fig6.series]
+    assert all(t == times[0] for t in times[1:])
+    assert len(times[0]) >= 10  # the run spans many sample intervals

@@ -1,0 +1,84 @@
+"""Extra kernel coverage: peek/step/trace, run(until) edge cases."""
+
+import pytest
+
+from repro.errors import CausalityError, SimulationError
+from repro.simkernel import Simulator
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(5.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+    sim.step()
+    assert sim.now == 2.0
+    assert sim.queued_events == 1
+    sim.step()
+    with pytest.raises(SimulationError, match="empty event queue"):
+        sim.step()
+
+
+def test_trace_records_events():
+    sim = Simulator(trace=True)
+    sim.timeout(1.0, name="first")
+    sim.timeout(2.0, name="second")
+    sim.run()
+    trace = sim.trace()
+    assert len(trace) == 2
+    assert trace[0][0] == 1.0 and "first" in trace[0][1]
+    assert trace[1][0] == 2.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=10.0)
+    with pytest.raises(CausalityError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_queue_exhausted():
+    sim = Simulator()
+    never = sim.event()  # nothing will ever trigger this
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError, match="exhausted"):
+        sim.run(until=never)
+
+
+def test_run_until_already_processed_event():
+    sim = Simulator()
+    ev = sim.timeout(1.0, value="v")
+    sim.run()
+    # Late waiters on processed events resolve immediately.
+    assert sim.run(until=ev) == "v"
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_anyof_ignores_late_failures():
+    sim = Simulator()
+    fast = sim.timeout(1.0, value="ok")
+    slow = sim.event()
+    cond = sim.any_of([fast, slow])
+    result = sim.run(until=cond)
+    assert fast in result
+    # A failure after the condition fired must not blow up the run.
+    slow.fail(RuntimeError("too late"))
+    sim.run()
+
+
+def test_event_names_in_repr():
+    sim = Simulator()
+    ev = sim.event(name="my-event")
+    assert "my-event" in repr(ev)
+    assert "pending" in repr(ev)
+    ev.succeed()
+    assert "triggered" in repr(ev)

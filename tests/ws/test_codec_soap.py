@@ -1,0 +1,100 @@
+"""Unit tests for the XML codec and SOAP envelopes."""
+
+import pytest
+
+from repro.errors import SoapFault, WsError
+from repro.ws.soap import SoapEnvelope
+from repro.ws.xmlcodec import (
+    element_to_value, python_to_xsd, value_to_element,
+)
+
+
+# ---------------------------------------------------------------- xmlcodec
+
+@pytest.mark.parametrize("value,xsd", [
+    ("hello", "xsd:string"),
+    ("", "xsd:string"),
+    ("<&> 'quoted'", "xsd:string"),
+    (42, "xsd:int"),
+    (-1, "xsd:int"),
+    (3.5, "xsd:double"),
+    (1e-300, "xsd:double"),
+    (True, "xsd:boolean"),
+    (False, "xsd:boolean"),
+    (b"\x00\x01binary\xff", "xsd:base64Binary"),
+    (b"", "xsd:base64Binary"),
+])
+def test_value_roundtrip(value, xsd):
+    elem = value_to_element("p", value)
+    assert elem.get("type") == xsd
+    assert element_to_value(elem) == value
+
+
+def test_python_to_xsd_inference():
+    assert python_to_xsd(True) == "xsd:boolean"  # bool before int
+    assert python_to_xsd(1) == "xsd:int"
+    with pytest.raises(WsError):
+        python_to_xsd([1, 2])
+
+
+def test_decode_bad_typed_text():
+    elem = value_to_element("p", 5)
+    elem.text = "not-a-number"
+    with pytest.raises(WsError, match="cannot decode"):
+        element_to_value(elem)
+
+
+def test_none_roundtrip():
+    elem = value_to_element("p", None, "xsd:string")
+    assert element_to_value(elem) is None
+
+
+# ---------------------------------------------------------------- SOAP
+
+def test_request_roundtrip():
+    env = SoapEnvelope.request("execute", {"fileName": "a.sh", "count": 3,
+                                           "blob": b"\x01\x02"})
+    decoded = SoapEnvelope.decode(env.encode())
+    assert decoded.operation == "execute"
+    assert decoded.params == {"fileName": "a.sh", "count": 3,
+                              "blob": b"\x01\x02"}
+    assert not decoded.is_response
+
+
+def test_response_roundtrip_and_result():
+    env = SoapEnvelope.response("execute", "job-42")
+    decoded = SoapEnvelope.decode(env.encode())
+    assert decoded.is_response
+    assert decoded.result() == "job-42"
+
+
+def test_fault_roundtrip():
+    fault = SoapFault("Server", "it broke", detail="JobError")
+    env = SoapEnvelope.fault_response(fault)
+    decoded = SoapEnvelope.decode(env.encode())
+    assert decoded.fault is not None
+    with pytest.raises(SoapFault, match="it broke"):
+        decoded.result()
+    assert decoded.fault.faultcode == "Server"
+    assert decoded.fault.detail == "JobError"
+
+
+def test_result_on_request_rejected():
+    env = SoapEnvelope.request("op", {})
+    with pytest.raises(WsError):
+        env.result()
+
+
+def test_decode_garbage():
+    with pytest.raises(WsError, match="malformed XML"):
+        SoapEnvelope.decode(b"this is not xml")
+    with pytest.raises(WsError, match="not a SOAP envelope"):
+        SoapEnvelope.decode(b"<other/>")
+    with pytest.raises(WsError, match="exactly one"):
+        SoapEnvelope.decode(b"<Envelope><Body/></Envelope>")
+
+
+def test_size_scales_with_payload():
+    small = SoapEnvelope.request("op", {"d": b"x"})
+    big = SoapEnvelope.request("op", {"d": b"x" * 10000})
+    assert big.size() > small.size() + 10000  # base64 expands ~4/3

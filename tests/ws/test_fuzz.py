@@ -1,0 +1,50 @@
+"""Fuzzing: malformed inputs never crash the parsers, only raise WsError."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import RslError, SoapFault, WsError, WsdlError
+from repro.grid.rsl import parse_rsl
+from repro.ws.soap import SoapEnvelope
+from repro.ws.wsdl import parse_wsdl
+
+
+@settings(max_examples=120)
+@given(st.binary(max_size=400))
+def test_soap_decode_never_crashes(data):
+    try:
+        SoapEnvelope.decode(data)
+    except WsError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=120)
+@given(st.binary(max_size=400))
+def test_wsdl_parse_never_crashes(data):
+    try:
+        parse_wsdl(data)
+    except (WsError, WsdlError):
+        pass
+
+
+@settings(max_examples=120)
+@given(st.text(max_size=200))
+def test_rsl_parse_never_crashes(text):
+    try:
+        parse_rsl(text)
+    except RslError:
+        pass
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=400))
+def test_mutated_valid_envelope_decodes_or_wserrors(data):
+    """Splicing garbage into a valid envelope stays contained."""
+    valid = SoapEnvelope.request("op", {"a": 1}).encode()
+    mutated = valid[: len(valid) // 2] + data + valid[len(valid) // 2:]
+    try:
+        SoapEnvelope.decode(mutated)
+    except WsError:
+        pass

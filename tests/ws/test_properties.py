@@ -1,0 +1,75 @@
+"""Property-based tests: envelope and WSDL round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ws import (
+    OperationSpec, ParameterSpec, ServiceDescription, generate_wsdl,
+    parse_wsdl,
+)
+from repro.ws.soap import SoapEnvelope
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+# Text that XML 1.0 can carry (the codec rejects the rest by design).
+xml_text = st.text(
+    alphabet=st.characters(
+        exclude_characters="".join(map(chr, range(0x00, 0x09)))
+        + "\x0b\x0c\x0d" + "".join(map(chr, range(0x0e, 0x20)))
+        + "￾￿",
+        exclude_categories=("Cs",),
+    ),
+    max_size=60,
+)
+
+param_values = st.one_of(
+    xml_text,
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.binary(max_size=60),
+)
+
+
+@settings(max_examples=60)
+@given(identifiers, st.dictionaries(identifiers, param_values, max_size=6))
+def test_soap_request_roundtrip(operation, params):
+    env = SoapEnvelope.request(operation, params)
+    decoded = SoapEnvelope.decode(env.encode())
+    assert decoded.operation == operation
+    assert decoded.params == params
+
+
+@settings(max_examples=60)
+@given(identifiers, param_values)
+def test_soap_response_roundtrip(operation, result):
+    env = SoapEnvelope.response(operation, result)
+    assert SoapEnvelope.decode(env.encode()).result() == result
+
+
+xsd_types = st.sampled_from(
+    ["xsd:string", "xsd:int", "xsd:double", "xsd:boolean", "xsd:base64Binary"])
+
+
+@st.composite
+def service_descriptions(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=4))
+    ops = []
+    names = draw(st.lists(identifiers, min_size=n_ops, max_size=n_ops,
+                          unique=True))
+    for name in names:
+        param_names = draw(st.lists(identifiers, max_size=4, unique=True))
+        params = [ParameterSpec(p, draw(xsd_types)) for p in param_names]
+        ops.append(OperationSpec(name, params, return_type=draw(xsd_types)))
+    svc_name = draw(identifiers)
+    doc = draw(st.from_regex(r"[A-Za-z0-9 ,.]{0,40}", fullmatch=True))
+    return ServiceDescription(svc_name, ops, documentation=doc.strip())
+
+
+@settings(max_examples=40)
+@given(service_descriptions(), identifiers)
+def test_wsdl_roundtrip_property(service, hostname):
+    endpoint = f"soap://{hostname}/{service.name}"
+    parsed, got_endpoint = parse_wsdl(generate_wsdl(service, endpoint))
+    assert parsed == service
+    assert got_endpoint == endpoint

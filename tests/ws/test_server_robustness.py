@@ -1,0 +1,86 @@
+"""SOAP server robustness: arbitrary handler exceptions become faults."""
+
+import pytest
+
+from repro.errors import SoapFault
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+from repro.units import Mbps
+from repro.ws import (
+    OperationSpec, ServiceDescription, SoapFabric, SoapServer, WsClient,
+)
+
+
+def make_env():
+    sim = Simulator()
+    net = Network(sim)
+    server_host = Host(sim, "s", net, HostSpec())
+    client_host = Host(sim, "c", net, HostSpec())
+    net.connect("s", "c", bandwidth=Mbps(100))
+    fabric = SoapFabric()
+    server = SoapServer(server_host, fabric)
+    client = WsClient(client_host, fabric)
+    return sim, server, client
+
+
+def deploy(server, handler):
+    return server.deploy(ServiceDescription("T", [OperationSpec("go")]),
+                         handler)
+
+
+def test_plain_python_exception_becomes_internal_fault():
+    sim, server, client = make_env()
+
+    def broken(operation, params):
+        raise ValueError("not a repro error")
+
+    endpoint = deploy(server, broken)
+    with pytest.raises(SoapFault, match="not a repro error") as exc_info:
+        sim.run(until=client.call(endpoint, "go"))
+    assert exc_info.value.faultcode == "Server.Internal"
+    assert exc_info.value.detail == "ValueError"
+
+
+def test_generator_handler_exception_becomes_fault():
+    sim, server, client = make_env()
+
+    def broken(operation, params):
+        yield server.sim.timeout(1.0)
+        raise KeyError("deep inside")
+
+    endpoint = deploy(server, broken)
+    with pytest.raises(SoapFault) as exc_info:
+        sim.run(until=client.call(endpoint, "go"))
+    assert exc_info.value.detail == "KeyError"
+
+
+def test_repro_errors_keep_server_faultcode():
+    sim, server, client = make_env()
+
+    def broken(operation, params):
+        from repro.errors import JobError
+        raise JobError("grid side")
+
+    endpoint = deploy(server, broken)
+    with pytest.raises(SoapFault) as exc_info:
+        sim.run(until=client.call(endpoint, "go"))
+    assert exc_info.value.faultcode == "Server"
+
+
+def test_server_survives_faults_and_keeps_serving():
+    sim, server, client = make_env()
+    calls = {"n": 0}
+
+    def flaky(operation, params):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("first call dies")
+        return "recovered"
+
+    endpoint = deploy(server, flaky)
+    with pytest.raises(SoapFault):
+        sim.run(until=client.call(endpoint, "go"))
+    assert sim.run(until=client.call(endpoint, "go")) == "recovered"
+    assert server.service("T").faults == 1
+    assert server.service("T").invocations == 2
