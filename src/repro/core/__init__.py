@@ -17,25 +17,43 @@ This package implements the SaaS-to-JSE translation middleware:
 * :mod:`~repro.core.portal` — the extended Cyberaide portal upload flow
   (§VII.A, with its faithful double disk write),
 * :mod:`~repro.core.invocation` — the *client-side* workflow: discover
-  in UDDI, fetch WSDL, generate a stub, invoke.
+  in UDDI, fetch WSDL, generate a stub, invoke,
+* :mod:`~repro.core.context` — the :class:`RequestContext` carrier of
+  the unified request fabric (request id, principal, deadline, trace).
+
+Package-level names resolve lazily (PEP 562): :mod:`repro.core.context`
+sits *below* the web-service stack (``repro.ws`` imports it), while the
+rest of this package sits *above* it, so an eager ``__init__`` would
+close an import cycle.
 """
 
-from repro.core.datastructures import ExecutableRecord, GeneratedService
-from repro.core.invocation import discover_and_invoke
-from repro.core.onserve import OnServe, OnServeConfig, OnServeStack, deploy_onserve
-from repro.core.portal import CyberaidePortal
-from repro.core.service_builder import ServiceBuilder
-from repro.core.watchdog import Watchdog
+from typing import Any
 
-__all__ = [
-    "ExecutableRecord",
-    "GeneratedService",
-    "Watchdog",
-    "ServiceBuilder",
-    "OnServe",
-    "OnServeConfig",
-    "OnServeStack",
-    "deploy_onserve",
-    "CyberaidePortal",
-    "discover_and_invoke",
-]
+_EXPORTS = {
+    "ExecutableRecord": "repro.core.datastructures",
+    "GeneratedService": "repro.core.datastructures",
+    "RequestContext": "repro.core.context",
+    "TraceSpan": "repro.core.context",
+    "Watchdog": "repro.core.watchdog",
+    "ServiceBuilder": "repro.core.service_builder",
+    "OnServe": "repro.core.onserve",
+    "OnServeConfig": "repro.core.onserve",
+    "OnServeStack": "repro.core.onserve",
+    "deploy_onserve": "repro.core.onserve",
+    "CyberaidePortal": "repro.core.portal",
+    "discover_and_invoke": "repro.core.invocation",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

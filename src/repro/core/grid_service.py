@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
+from repro.core.context import RequestContext, span
 from repro.core.datastructures import ExecutableRecord
 from repro.core.watchdog import poll_until
 from repro.cyberaide.jobspec import CyberaideJobSpec
@@ -97,13 +98,14 @@ class GridServiceRuntime:
 
     # -- the SOAP handler -----------------------------------------------------
 
-    def handler(self, operation: str, params: Dict[str, Any]):
+    def handler(self, operation: str, params: Dict[str, Any],
+                ctx: Optional[RequestContext] = None):
         if operation == "describe":
             return self._describe()
         if operation == "execute":
-            return self._execute(params)
+            return self._execute(params, ctx=ctx)
         if operation == "submit":
-            return self._submit_async(params)
+            return self._submit_async(params, ctx=ctx)
         if operation == "poll":
             return self._poll_async(params["ticket"])
         if operation == "result":
@@ -113,12 +115,16 @@ class GridServiceRuntime:
 
     # -- asynchronous invocation (submit / poll / result) ----------------------
 
-    def _submit_async(self, params: Dict[str, Any]
+    def _submit_async(self, params: Dict[str, Any],
+                      ctx: Optional[RequestContext] = None
                       ) -> Generator[Event, None, str]:
         """Start the execute pipeline in the background; return a ticket."""
         yield self.onserve.host.compute(0.002, tag="service")
         ticket = f"tkt-{self.record.name}-{len(self._tickets) + 1:05d}"
-        proc = self.sim.process(self._execute(params),
+        # The background work outlives this SOAP request: give it a
+        # derived context so its trace collects separately.
+        child = ctx.child() if ctx is not None else None
+        proc = self.sim.process(self._execute(params, ctx=child),
                                 name=f"async:{ticket}")
         # Failures are delivered through result(), not as stray crashes.
         proc.add_callback(lambda ev: ev.defused() if not ev._ok else None)
@@ -153,7 +159,9 @@ class GridServiceRuntime:
 
     # -- §VII.B: the execute workflow -----------------------------------------------
 
-    def _execute(self, params: Dict[str, Any]) -> Generator[Event, None, str]:
+    def _execute(self, params: Dict[str, Any],
+                 ctx: Optional[RequestContext] = None
+                 ) -> Generator[Event, None, str]:
         cfg = self.onserve.config
         host = self.onserve.host
         report = InvocationReport(self.record.name, self.sim.now)
@@ -163,19 +171,23 @@ class GridServiceRuntime:
             # 1. File retrieval: DB load + temp copy on local disk.  The
             #    decompressed payload sits in RAM until staged to the grid.
             mark = self.sim.now
-            exe = yield self.onserve.dbmanager.load_executable(self.record.name)
-            host.allocate_memory(exe.size)
-            held_bytes = exe.size
-            yield host.disk_write(exe.size)  # "stored in a temporary location"
+            with span(ctx, "service:retrieval", executable=self.record.name):
+                exe = yield self.onserve.dbmanager.load_executable(
+                    self.record.name)
+                host.allocate_memory(exe.size)
+                held_bytes = exe.size
+                # "stored in a temporary location"
+                yield host.disk_write(exe.size)
             report.retrieval = self.sim.now - mark
 
             # 2. Authentication through the agent (cached while fresh).
             mark = self.sim.now
-            session = yield from self._ensure_session()
+            with span(ctx, "service:auth"):
+                session = yield from self._ensure_session(ctx)
             report.auth = self.sim.now - mark
 
             # Pick a site (resource selection via the information service).
-            sites = yield self.onserve.agent_stub.listSites()
+            sites = yield self.onserve.agent_stub.listSites(ctx=ctx)
             site = self._choose_site(sites.split(",") if sites else [])
 
             # Build the job spec from the declared parameters, in order.
@@ -190,31 +202,35 @@ class GridServiceRuntime:
             # 3. Upload the executable to the site (re-uploaded every
             #    time unless the upload-cache ablation is on).
             mark = self.sim.now
-            staged = spec.staged_path()
-            if not (cfg.upload_cache and
-                    self.onserve.is_staged(site, staged, exe.payload)):
-                yield self.onserve.agent_stub.uploadExecutable(
-                    session=session, site=site, path=staged,
-                    data=exe.payload)
-                self.onserve.mark_staged(site, staged, exe.payload)
-            # The buffer is staged (or cached); it can be collected now.
-            host.release_memory(held_bytes)
-            held_bytes = 0
+            with span(ctx, "service:upload", site=site):
+                staged = spec.staged_path()
+                if not (cfg.upload_cache and
+                        self.onserve.is_staged(site, staged, exe.payload)):
+                    yield self.onserve.agent_stub.uploadExecutable(
+                        session=session, site=site, path=staged,
+                        data=exe.payload, ctx=ctx)
+                    self.onserve.mark_staged(site, staged, exe.payload)
+                # The buffer is staged (or cached); collect it now.
+                host.release_memory(held_bytes)
+                held_bytes = 0
             report.upload = self.sim.now - mark
 
             # 4.+5. Job description generation + submission.
             mark = self.sim.now
-            yield host.compute(cfg.submit_cpu, tag="service")
-            rsl = spec.to_rsl(job_tag=tag)
-            job_id = yield self.onserve.agent_stub.submitJob(
-                session=session, site=site, rsl=rsl)
+            with span(ctx, "service:submit", site=site):
+                yield host.compute(cfg.submit_cpu, tag="service")
+                rsl = spec.to_rsl(job_tag=tag)
+                job_id = yield self.onserve.agent_stub.submitJob(
+                    session=session, site=site, rsl=rsl, ctx=ctx)
             report.job_id = job_id
             report.submit = self.sim.now - mark
 
             # 6. Wait for completion.
             mark = self.sim.now
-            output = yield from self._await_output(session, site, spec,
-                                                   tag, job_id, report)
+            with span(ctx, "service:polling", job=report.job_id):
+                output = yield from self._await_output(session, site, spec,
+                                                       tag, job_id, report,
+                                                       ctx)
             report.polling = self.sim.now - mark
             report.output_bytes = len(output)
             report.ok = True
@@ -254,7 +270,8 @@ class GridServiceRuntime:
             return rng.choice(sorted(sites))
         return sites[0]
 
-    def _ensure_session(self) -> Generator[Event, None, str]:
+    def _ensure_session(self, ctx: Optional[RequestContext] = None
+                        ) -> Generator[Event, None, str]:
         cfg = self.onserve.config
         while True:
             if (self._session is not None
@@ -268,7 +285,7 @@ class GridServiceRuntime:
             try:
                 self._session = yield self.onserve.agent_stub.authenticate(
                     username=cfg.grid_username,
-                    passphrase=cfg.grid_passphrase)
+                    passphrase=cfg.grid_passphrase, ctx=ctx)
                 # Renew well before the delegated proxy actually expires.
                 self._session_expires = self.sim.now + cfg.session_renewal
             finally:
@@ -277,7 +294,8 @@ class GridServiceRuntime:
             return self._session
 
     def _await_output(self, session: str, site: str, spec: CyberaideJobSpec,
-                      tag: str, job_id: str, report: InvocationReport
+                      tag: str, job_id: str, report: InvocationReport,
+                      ctx: Optional[RequestContext] = None
                       ) -> Generator[Event, None, bytes]:
         """Completion detection, with and without the status workaround."""
         cfg = self.onserve.config
@@ -287,7 +305,8 @@ class GridServiceRuntime:
         if cfg.status_supported:
             # Ablation: clean status polling, output fetched exactly once.
             def status_poll():
-                return stub.jobStatus(session=session, site=site, jobId=job_id)
+                return stub.jobStatus(session=session, site=site,
+                                      jobId=job_id, ctx=ctx)
 
             (state, polls) = yield poll_until(
                 self.sim,
@@ -299,7 +318,7 @@ class GridServiceRuntime:
             if state != "done":
                 raise InvocationError(f"grid job {job_id} ended {state}")
             output = yield stub.fetchOutput(session=session, site=site,
-                                            jobId=job_id)
+                                            jobId=job_id, ctx=ctx)
             yield host.disk_write(len(output))
             return output
 
@@ -312,14 +331,14 @@ class GridServiceRuntime:
         def poll():
             def round_trip() -> Generator[Event, None, bool]:
                 data = yield stub.fetchOutput(session=session, site=site,
-                                              jobId=job_id)
+                                              jobId=job_id, ctx=ctx)
                 collected["data"] = data
                 if data:
                     # "the output of the running job is written to the
                     # hard disk" — every poll, the periodic write peaks.
                     yield host.disk_write(len(data))
                 ready = yield stub.outputReady(session=session, site=site,
-                                               path=stdout_path)
+                                               path=stdout_path, ctx=ctx)
                 return ready
 
             return self.sim.process(round_trip(), name="tentative-poll")
@@ -333,7 +352,7 @@ class GridServiceRuntime:
         report.polls = polls
         # The last tentative fetch may predate completion; fetch final.
         output = yield stub.fetchOutput(session=session, site=site,
-                                        jobId=job_id)
+                                        jobId=job_id, ctx=ctx)
         yield host.disk_write(len(output))
         if output and set(output) == {0}:
             raise InvocationError(

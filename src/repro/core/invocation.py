@@ -12,8 +12,9 @@ every message travelling the simulated network.
 
 from __future__ import annotations
 
-from typing import Any, Generator, TYPE_CHECKING, Tuple
+from typing import Any, Generator, Optional, TYPE_CHECKING, Tuple
 
+from repro.core.context import RequestContext, span
 from repro.errors import ServiceNotFound
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
@@ -29,7 +30,8 @@ __all__ = ["discover_service", "discover_and_invoke"]
 
 
 def discover_service(stack: "OnServeStack", client: WsClient,
-                     name_pattern: str) -> Process:
+                     name_pattern: str,
+                     ctx: Optional[RequestContext] = None) -> Process:
     """UDDI inquiry from the client's host (over real SOAP).
 
     The process-event's value is ``(service_name, endpoint,
@@ -39,19 +41,20 @@ def discover_service(stack: "OnServeStack", client: WsClient,
         UddiInquiryService.SERVICE_NAME)
 
     def op() -> Generator[Event, None, Tuple[str, str, str]]:
-        listing = yield client.call(inquiry_endpoint, "findService",
-                                    pattern=name_pattern)
-        hits = parse_service_lines(listing)
-        if not hits:
-            raise ServiceNotFound(
-                f"UDDI has no service matching {name_pattern!r}")
-        service = hits[0]
-        raw = yield client.call(inquiry_endpoint, "getBindings",
-                                serviceKey=service["key"])
-        bindings = parse_binding_lines(raw)
-        if not bindings:
-            raise ServiceNotFound(
-                f"UDDI service {service['name']!r} has no binding")
+        with span(ctx, "uddi:discover", pattern=name_pattern):
+            listing = yield client.call(inquiry_endpoint, "findService",
+                                        ctx=ctx, pattern=name_pattern)
+            hits = parse_service_lines(listing)
+            if not hits:
+                raise ServiceNotFound(
+                    f"UDDI has no service matching {name_pattern!r}")
+            service = hits[0]
+            raw = yield client.call(inquiry_endpoint, "getBindings",
+                                    ctx=ctx, serviceKey=service["key"])
+            bindings = parse_binding_lines(raw)
+            if not bindings:
+                raise ServiceNotFound(
+                    f"UDDI service {service['name']!r} has no binding")
         return (service["name"], bindings[0]["access_point"],
                 bindings[0]["wsdl_location"])
 
@@ -59,15 +62,25 @@ def discover_service(stack: "OnServeStack", client: WsClient,
 
 
 def discover_and_invoke(stack: "OnServeStack", client: WsClient,
-                        name_pattern: str, **params: Any) -> Process:
-    """The full §VII.B client workflow; the value is execute()'s result."""
+                        name_pattern: str,
+                        ctx: Optional[RequestContext] = None,
+                        **params: Any) -> Process:
+    """The full §VII.B client workflow; the value is execute()'s result.
+
+    A request-fabric entry point: mints a :class:`RequestContext` for
+    the whole discover → wsimport → execute workflow unless the caller
+    brought one, so the resulting trace covers every hop down to GRAM.
+    """
+    if ctx is None:
+        ctx = RequestContext.create(client.sim,
+                                    principal=client.host.name)
 
     def op() -> Generator[Event, None, str]:
         _name, endpoint, _wsdl_loc = yield discover_service(
-            stack, client, name_pattern)
-        document = yield client.fetch_wsdl(endpoint)
+            stack, client, name_pattern, ctx=ctx)
+        document = yield client.fetch_wsdl(endpoint, ctx=ctx)
         stub = generate_stub(document)(client)
-        result = yield stub.execute(**params)
+        result = yield stub.execute(ctx=ctx, **params)
         return result
 
     return client.sim.process(op(), name=f"invoke:{name_pattern}")

@@ -8,8 +8,9 @@ web-service client, not just the portal host.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, TYPE_CHECKING
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 
+from repro.core.context import RequestContext, span
 from repro.errors import ServiceNotFound
 from repro.ws.registryapi import OperationSpec, ParameterSpec, ServiceDescription
 
@@ -40,7 +41,8 @@ class ManagementService:
                           "xsd:base64Binary"),
         ], documentation="Cyberaide onServe service management")
 
-    def handler(self, operation: str, params: Dict[str, Any]) -> Any:
+    def handler(self, operation: str, params: Dict[str, Any],
+                ctx: Optional[RequestContext] = None) -> Any:
         if operation == "listServices":
             return "\n".join(
                 f"{s.service_name}|{s.endpoint}|{s.executable_name}"
@@ -49,7 +51,7 @@ class ManagementService:
         if operation == "describeService":
             return self._describe(params["name"])
         if operation == "undeployService":
-            return self._undeploy(params["name"])
+            return self._undeploy(params["name"], ctx)
         if operation == "usageReport":
             rows = self.onserve.usage_report()
             return "\n".join(
@@ -85,9 +87,11 @@ class ManagementService:
         ]
         return "\n".join(lines)
 
-    def _undeploy(self, name: str) -> Generator:
+    def _undeploy(self, name: str,
+                  ctx: Optional[RequestContext] = None) -> Generator:
         def op():
-            yield self.onserve.undeploy_service(name)
+            with span(ctx, "management:undeploy", service=name):
+                yield self.onserve.undeploy_service(name)
             return True
         return op()
 

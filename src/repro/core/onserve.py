@@ -20,6 +20,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.appliance.deploy import DeployedAppliance, deploy_image
 from repro.appliance.image import ImageBuilder, ONSERVE_PACKAGES
+from repro.core.context import RequestContext, span
 from repro.core.datastructures import (
     ExecutableRecord, GeneratedService, parse_params_spec, service_name_for,
 )
@@ -27,7 +28,7 @@ from repro.core.grid_service import GridServiceRuntime
 from repro.core.service_builder import ServiceBuilder
 from repro.cyberaide.agent import AgentConfig, CyberaideAgent
 from repro.db.dbmanager import DbManager
-from repro.errors import OnServeError, ServiceNotFound, UploadError
+from repro.errors import OnServeError, ServiceNotFound, UddiError, UploadError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
@@ -120,6 +121,11 @@ class OnServe:
             overview_url=f"soap://{host.name}/onserve-docs")
         self.services: Dict[str, GeneratedService] = {}
         self.runtimes: Dict[str, GridServiceRuntime] = {}
+        # Teardown hangs off the container's undeploy hook so UDDI and
+        # the registries stay consistent no matter which path undeploys
+        # a service (previously a direct SoapServer.undeploy left stale
+        # bindingTemplates behind).
+        soap_server.on_undeploy(self._on_soap_undeploy)
         self._staged: Dict[tuple, str] = {}
         # Durable invocation history (queried by the management API).
         from repro.db.table import Column
@@ -162,7 +168,8 @@ class OnServe:
 
     def generate_service(self, name: str, payload: bytes,
                          description: str = "", params_spec: str = "",
-                         uploaded_by: str = "portal") -> Process:
+                         uploaded_by: str = "portal",
+                         ctx: Optional[RequestContext] = None) -> Process:
         """Store the executable, build+deploy its service, publish it.
 
         The process-event's value is the :class:`GeneratedService`.
@@ -186,9 +193,10 @@ class OnServe:
                     f"{existing.executable_name!r})")
 
             # Storage: the executable lands in the database.
-            yield self.dbmanager.store_executable(
-                name, payload, description=description,
-                params_spec=params_spec)
+            with span(ctx, "onserve:store", executable=name):
+                yield self.dbmanager.store_executable(
+                    name, payload, description=description,
+                    params_spec=params_spec)
 
             if existing is not None:
                 # Replacement upload: same service, new bytes.  Drop any
@@ -204,12 +212,13 @@ class OnServe:
                                       size=len(payload),
                                       uploaded_by=uploaded_by,
                                       uploaded_at=self.sim.now)
-            service = yield from self._build_and_publish(record)
+            service = yield from self._build_and_publish(record, ctx=ctx)
             return service
 
         return self.sim.process(op(), name=f"generate:{name}")
 
-    def _build_and_publish(self, record: ExecutableRecord):
+    def _build_and_publish(self, record: ExecutableRecord,
+                           ctx: Optional[RequestContext] = None):
         """Build the service archive, deploy it, publish it in UDDI.
 
         A generator meant to be delegated to (``yield from``) inside a
@@ -217,15 +226,17 @@ class OnServe:
         """
         service_name = service_name_for(record.name)
         runtime = GridServiceRuntime(self, record)
-        endpoint, archive = yield self.builder.build_and_deploy(
-            record, runtime.handler)
-        yield self.host.compute(0.02, tag="uddi")
-        entry = self.uddi.save_service(
-            self.business.key, service_name, record.description)
-        binding = self.uddi.save_binding(
-            entry.key, access_point=endpoint,
-            wsdl_location=endpoint + "?wsdl",
-            tmodel_key=self.tmodel.key)
+        with span(ctx, "onserve:build", service=service_name):
+            endpoint, archive = yield self.builder.build_and_deploy(
+                record, runtime.handler)
+        with span(ctx, "onserve:uddi-publish", service=service_name):
+            yield self.host.compute(0.02, tag="uddi")
+            entry = self.uddi.save_service(
+                self.business.key, service_name, record.description)
+            binding = self.uddi.save_binding(
+                entry.key, access_point=endpoint,
+                wsdl_location=endpoint + "?wsdl",
+                tmodel_key=self.tmodel.key)
         service = GeneratedService(
             service_name=service_name,
             executable_name=record.name,
@@ -313,16 +324,29 @@ class OnServe:
     def list_services(self) -> List[GeneratedService]:
         return [self.services[k] for k in sorted(self.services)]
 
+    def _on_soap_undeploy(self, service_name: str) -> None:
+        """Container undeploy hook: unpublish UDDI, drop the registries.
+
+        Idempotent, and tolerant of services the container hosts that
+        onServe never generated (agent, inquiry, management).
+        """
+        service = self.services.pop(service_name, None)
+        self.runtimes.pop(service_name, None)
+        if service is None:
+            return
+        try:
+            self.uddi.delete_service(service.uddi_service_key)
+        except UddiError:
+            pass  # already unpublished by an explicit teardown
+
     def undeploy_service(self, service_name: str) -> Process:
         """Remove a generated service everywhere (SOAP, UDDI, DB)."""
         service = self.get_service(service_name)
 
         def op() -> Generator[Event, None, None]:
+            # The undeploy listener handles UDDI + registry cleanup.
             self.soap_server.undeploy(service_name)
-            self.uddi.delete_service(service.uddi_service_key)
             yield self.dbmanager.delete_executable(service.executable_name)
-            del self.services[service_name]
-            del self.runtimes[service_name]
 
         return self.sim.process(op(), name=f"undeploy:{service_name}")
 

@@ -18,8 +18,9 @@ models one form submission end to end:
 
 from __future__ import annotations
 
-from typing import Generator, TYPE_CHECKING
+from typing import Generator, Optional, TYPE_CHECKING
 
+from repro.core.context import RequestContext, span
 from repro.core.datastructures import GeneratedService
 from repro.errors import UploadError
 from repro.hardware.host import Host
@@ -41,40 +42,55 @@ class CyberaidePortal:
         self.host = onserve.host
         self.sim = onserve.sim
         self.uploads_handled = 0
+        #: Contexts of handled uploads, newest last (trace inspection).
+        self.recent_requests: list = []
 
     def upload_and_generate(self, user_host: Host, filename: str,
                             data: bytes, description: str = "",
-                            params_spec: str = "") -> Process:
+                            params_spec: str = "",
+                            ctx: Optional[RequestContext] = None) -> Process:
         """One "Upload file and generate WebService" form submission.
 
         The process-event's value is the :class:`GeneratedService`.
+        The portal is a request-fabric entry point: it mints a
+        :class:`RequestContext` (unless the caller brought one) and
+        threads it through the onServe layers below.
         """
         config = self.onserve.config
+        if ctx is None:
+            ctx = RequestContext.create(self.sim, principal=user_host.name)
+        self.recent_requests.append(ctx)
 
         def op() -> Generator[Event, None, GeneratedService]:
             if not filename:
                 raise UploadError("the form requires a file name")
-            # 1. Reception: multipart form over the LAN, buffered in RAM.
-            yield user_host.send(self.host,
-                                 len(data) + config.form_overhead_bytes,
-                                 label=f"portal-upload:{filename}")
-            self.host.allocate_memory(len(data))
-            try:
-                # 2. Tomcat + JSP handling.
-                yield self.host.compute(
-                    config.portal_cpu_fixed
-                    + config.portal_cpu_per_mb * len(data) / MB(1),
-                    tag="portal")
-                # 3. Temporary storage (the first of the two writes).
-                if config.double_write:
-                    yield self.host.disk_write(len(data))
-                # 4. "a parameter string is used to call the Cyberaide
-                #    onServe function" — storage, build, publish.
-                service = yield self.onserve.generate_service(
-                    filename, data, description=description,
-                    params_spec=params_spec, uploaded_by=user_host.name)
-            finally:
-                self.host.release_memory(len(data))
+            with span(ctx, "portal:upload", file=filename):
+                # 1. Reception: multipart form over the LAN, buffered
+                #    in RAM.
+                with span(ctx, "portal:receive"):
+                    yield user_host.send(
+                        self.host, len(data) + config.form_overhead_bytes,
+                        label=f"portal-upload:{filename}")
+                self.host.allocate_memory(len(data))
+                try:
+                    # 2. Tomcat + JSP handling.
+                    with span(ctx, "portal:handle"):
+                        yield self.host.compute(
+                            config.portal_cpu_fixed
+                            + config.portal_cpu_per_mb * len(data) / MB(1),
+                            tag="portal")
+                        # 3. Temporary storage (first of the two writes).
+                        if config.double_write:
+                            yield self.host.disk_write(len(data))
+                    # 4. "a parameter string is used to call the
+                    #    Cyberaide onServe function" — storage, build,
+                    #    publish.
+                    service = yield self.onserve.generate_service(
+                        filename, data, description=description,
+                        params_spec=params_spec, uploaded_by=user_host.name,
+                        ctx=ctx)
+                finally:
+                    self.host.release_memory(len(data))
             self.uploads_handled += 1
             return service
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional
 
+from repro.core.context import RequestContext, span
 from repro.errors import AuthenticationFailed, GridError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
@@ -114,49 +115,63 @@ class CyberaideAgent:
                            ParameterSpec("path", s)], "xsd:base64Binary"),
         ], documentation="Cyberaide agent: production-grid access functions")
 
-    def handler(self, operation: str, params: Dict[str, Any]):
-        """SOAP handler entry point (a generator per request)."""
+    def handler(self, operation: str, params: Dict[str, Any],
+                ctx: Optional[RequestContext] = None):
+        """SOAP handler entry point (a generator per request).
+
+        Context-aware: the container passes the caller's request
+        context, which the agent threads into the grid protocols so a
+        single trace covers SOAP dispatch, GridFTP and GRAM.
+        """
         method = getattr(self, f"_op_{operation}", None)
         if method is None:  # unreachable via SOAP (specs gate operations)
             raise GridError(f"agent has no operation {operation!r}")
-        return method(**params)
+        return method(ctx=ctx, **params)
 
     # -- operations ---------------------------------------------------------------
 
-    def _op_authenticate(self, username: str, passphrase: str
+    def _op_authenticate(self, username: str, passphrase: str,
+                         ctx: Optional[RequestContext] = None
                          ) -> Generator[Event, None, str]:
-        yield self.host.compute(self.config.session_cpu, tag="agent")
-        key, proxy, ee = yield self.testbed.myproxy.logon(
-            self.host, username, passphrase,
-            lifetime=self.config.default_proxy_lifetime)
+        with span(ctx, "agent:authenticate", username=username):
+            yield self.host.compute(self.config.session_cpu, tag="agent")
+            key, proxy, ee = yield self.testbed.myproxy.logon(
+                self.host, username, passphrase,
+                lifetime=self.config.default_proxy_lifetime)
         session_id = f"sess-{next(self._counter):06d}"
         self._sessions[session_id] = AgentSession(
             session_id, username, [proxy, ee], proxy.not_after)
         return session_id
 
-    def _op_listSites(self) -> Generator[Event, None, str]:
-        yield self.host.compute(self.config.session_cpu, tag="agent")
-        sites = self.testbed.mds.query(min_free_cores=0)
+    def _op_listSites(self, ctx: Optional[RequestContext] = None
+                      ) -> Generator[Event, None, str]:
+        with span(ctx, "agent:listSites"):
+            yield self.host.compute(self.config.session_cpu, tag="agent")
+            sites = self.testbed.mds.query(min_free_cores=0)
         return ",".join(s.name for s in sites)
 
     def _op_uploadExecutable(self, session: str, site: str, path: str,
-                             data: bytes) -> Generator[Event, None, int]:
+                             data: bytes,
+                             ctx: Optional[RequestContext] = None
+                             ) -> Generator[Event, None, int]:
         sess = self._session(session)
         ftp = self._ftp(site)
-        n = yield ftp.put(self.host, sess.chain, path, data)
+        n = yield ftp.put(self.host, sess.chain, path, data, ctx=ctx)
         self.uploads += 1
         return n
 
-    def _op_submitJob(self, session: str, site: str,
-                      rsl: str) -> Generator[Event, None, str]:
+    def _op_submitJob(self, session: str, site: str, rsl: str,
+                      ctx: Optional[RequestContext] = None
+                      ) -> Generator[Event, None, str]:
         sess = self._session(session)
         gram = self._gram(site)
-        job_id = yield gram.submit(self.host, sess.chain, rsl)
+        job_id = yield gram.submit(self.host, sess.chain, rsl, ctx=ctx)
         self.submissions += 1
         return job_id
 
-    def _op_jobStatus(self, session: str, site: str,
-                      jobId: str) -> Generator[Event, None, str]:
+    def _op_jobStatus(self, session: str, site: str, jobId: str,
+                      ctx: Optional[RequestContext] = None
+                      ) -> Generator[Event, None, str]:
         self._session(session)
         if not self.config.status_supported:
             # The paper's workaround made concrete: this path is broken.
@@ -166,34 +181,39 @@ class CyberaideAgent:
         state = yield self._gram(site).status(self.host, jobId)
         return state.value
 
-    def _op_cancelJob(self, session: str, site: str,
-                      jobId: str) -> Generator[Event, None, bool]:
+    def _op_cancelJob(self, session: str, site: str, jobId: str,
+                      ctx: Optional[RequestContext] = None
+                      ) -> Generator[Event, None, bool]:
         self._session(session)
         result = yield self._gram(site).cancel(self.host, jobId)
         return result
 
-    def _op_outputReady(self, session: str, site: str,
-                        path: str) -> Generator[Event, None, bool]:
+    def _op_outputReady(self, session: str, site: str, path: str,
+                        ctx: Optional[RequestContext] = None
+                        ) -> Generator[Event, None, bool]:
         sess = self._session(session)
         gram = self._gram(site)
         # A control-channel existence probe on the grid filesystem — the
         # legitimate way around the missing status call.
-        yield self.host.send(gram.host, 512, label="exists-probe")
-        exists = self._ftp(site).exists(path)
-        yield gram.host.send(self.host, 128, label="exists-answer")
+        with span(ctx, "agent:outputReady", site=site):
+            yield self.host.send(gram.host, 512, label="exists-probe")
+            exists = self._ftp(site).exists(path)
+            yield gram.host.send(self.host, 128, label="exists-answer")
         return exists
 
-    def _op_fetchOutput(self, session: str, site: str,
-                        jobId: str) -> Generator[Event, None, bytes]:
+    def _op_fetchOutput(self, session: str, site: str, jobId: str,
+                        ctx: Optional[RequestContext] = None
+                        ) -> Generator[Event, None, bytes]:
         self._session(session)
-        data = yield self._gram(site).fetch_output(self.host, jobId)
+        data = yield self._gram(site).fetch_output(self.host, jobId, ctx=ctx)
         self.output_polls += 1
         return data
 
-    def _op_fetchFile(self, session: str, site: str,
-                      path: str) -> Generator[Event, None, bytes]:
+    def _op_fetchFile(self, session: str, site: str, path: str,
+                      ctx: Optional[RequestContext] = None
+                      ) -> Generator[Event, None, bytes]:
         sess = self._session(session)
-        data = yield self._ftp(site).get(self.host, sess.chain, path)
+        data = yield self._ftp(site).get(self.host, sess.chain, path, ctx=ctx)
         return data
 
     # -- internals ---------------------------------------------------------------

@@ -9,9 +9,11 @@ user's burst cannot monopolize the agent.  onServe's stress scenarios
 from __future__ import annotations
 
 import enum
+import inspect
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro.core.context import RequestContext, span
 from repro.errors import ReproError
 from repro.simkernel.events import Event
 from repro.simkernel.kernel import Simulator
@@ -31,10 +33,11 @@ class Task:
     """One queued unit of work."""
 
     __slots__ = ("task_id", "label", "state", "submitted_at", "started_at",
-                 "finished_at", "result", "error", "done_event")
+                 "finished_at", "result", "error", "done_event", "ctx")
 
     def __init__(self, task_id: int, label: str, submitted_at: float,
-                 done_event: Event):
+                 done_event: Event,
+                 ctx: Optional[RequestContext] = None):
         self.task_id = task_id
         self.label = label
         self.state = TaskState.QUEUED
@@ -44,6 +47,8 @@ class Task:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.done_event = done_event
+        #: The task's request context (queue wait + run are spans of it).
+        self.ctx = ctx
 
     @property
     def queue_wait(self) -> Optional[float]:
@@ -67,25 +72,42 @@ class Mediator:
         self._counter = itertools.count(1)
         self.tasks: List[Task] = []
 
-    def submit(self, factory: Callable[[], Generator], label: str = "") -> Task:
+    def submit(self, factory: Callable[..., Generator], label: str = "",
+               ctx: Optional[RequestContext] = None) -> Task:
         """Queue a task; *factory* builds its process generator when a
         concurrency slot frees up.
+
+        The mediator is a request-fabric entry point: each task gets a
+        :class:`RequestContext` (a child of *ctx* when one is passed, so
+        the parent request is recorded in its baggage).  A *factory*
+        declaring a parameter receives the task's context.
 
         The task's ``done_event`` fires with the task itself once it
         finishes (success or failure — inspect ``state``/``error``).
         """
+        if ctx is not None:
+            task_ctx = ctx.child()
+        else:
+            task_ctx = RequestContext.create(self.sim, principal=self.name)
         task = Task(next(self._counter), label or f"task-{self.name}",
-                    self.sim.now, self.sim.event())
+                    self.sim.now, self.sim.event(), ctx=task_ctx)
         self.tasks.append(task)
+        # Only factories that *ask* for the context (a parameter named
+        # "ctx") receive it — default-argument lambdas stay untouched.
+        wants_ctx = "ctx" in inspect.signature(factory).parameters
 
         def runner() -> Generator[Event, None, None]:
             request = self._slots.request()
-            yield request
+            with span(task_ctx, "mediator:queued"):
+                yield request
             task.state = TaskState.RUNNING
             task.started_at = self.sim.now
             try:
-                task.result = yield self.sim.process(
-                    factory(), name=f"mediator:{task.label}")
+                with span(task_ctx, "mediator:run", task=task.task_id):
+                    generator = factory(ctx=task_ctx) if wants_ctx \
+                        else factory()
+                    task.result = yield self.sim.process(
+                        generator, name=f"mediator:{task.label}")
                 task.state = TaskState.DONE
             except ReproError as exc:
                 task.state = TaskState.FAILED

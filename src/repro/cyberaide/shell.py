@@ -19,6 +19,7 @@ from __future__ import annotations
 import shlex
 from typing import Dict, Generator, List, Optional
 
+from repro.core.context import RequestContext, span
 from repro.cyberaide.jobspec import CyberaideJobSpec
 from repro.errors import ReproError
 from repro.simkernel.events import Event
@@ -63,22 +64,39 @@ class CyberaideShell:
         #: Virtual local files the user can upload/run.
         self.files: Dict[str, bytes] = {}
         self.history: List[str] = []
+        #: Context of each executed command, in order (trace inspection).
+        self.recent_requests: List[RequestContext] = []
 
     def add_file(self, name: str, data: bytes) -> None:
         """Drop a file into the shell's virtual working directory."""
         self.files[name] = data
 
-    def execute(self, line: str) -> Process:
-        """Run one command line; the process-event's value is its output."""
+    def execute(self, line: str,
+                ctx: Optional[RequestContext] = None) -> Process:
+        """Run one command line; the process-event's value is its output.
+
+        The shell is a request-fabric entry point: each command line
+        gets its own :class:`RequestContext` unless the caller brings
+        one, threaded through the agent calls the command makes.
+        """
         self.history.append(line)
-        return self.sim.process(self._dispatch(line), name=f"shell:{line[:30]}")
+        if ctx is None:
+            ctx = RequestContext.create(self.sim,
+                                        principal=self.client.host.name)
+        self.recent_requests.append(ctx)
+        return self.sim.process(self._dispatch(line, ctx),
+                                name=f"shell:{line[:30]}")
 
     # -- internals -----------------------------------------------------------
 
-    def _agent(self, operation: str, **params):
-        return self.client.call(self.agent_endpoint, operation, **params)
+    def _agent(self, operation: str,
+               ctx: Optional[RequestContext] = None, **params):
+        return self.client.call(self.agent_endpoint, operation, ctx=ctx,
+                                **params)
 
-    def _dispatch(self, line: str) -> Generator[Event, None, str]:
+    def _dispatch(self, line: str,
+                  ctx: Optional[RequestContext] = None
+                  ) -> Generator[Event, None, str]:
         try:
             argv = shlex.split(line)
         except ValueError as exc:
@@ -90,7 +108,8 @@ class CyberaideShell:
         if handler is None:
             return f"error: unknown command {command!r} (try 'help')"
         try:
-            result = yield from handler(args)
+            with span(ctx, f"shell:{command}"):
+                result = yield from handler(args, ctx)
             return result
         except ReproError as exc:
             return f"error: {exc}"
@@ -102,31 +121,32 @@ class CyberaideShell:
 
     # -- commands ----------------------------------------------------------------
 
-    def _cmd_help(self, args) -> Generator[Event, None, str]:
+    def _cmd_help(self, args, ctx=None) -> Generator[Event, None, str]:
         yield self.sim.timeout(0)
         return ("commands: help | auth <user> <pass> | sites | "
                 "run <site> <file> [args...] | status <site> <job> | "
                 "cancel <site> <job> | output <site> <job> | files | "
                 "discover <pattern> | invoke <pattern> [name=value...]")
 
-    def _cmd_files(self, args) -> Generator[Event, None, str]:
+    def _cmd_files(self, args, ctx=None) -> Generator[Event, None, str]:
         yield self.sim.timeout(0)
         return "\n".join(f"{name} ({len(data)} bytes)"
                          for name, data in sorted(self.files.items())) or "(none)"
 
-    def _cmd_auth(self, args) -> Generator[Event, None, str]:
+    def _cmd_auth(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) != 2:
             raise ReproError("usage: auth <user> <passphrase>")
-        self.session = yield self._agent("authenticate", username=args[0],
+        self.session = yield self._agent("authenticate", ctx=ctx,
+                                         username=args[0],
                                          passphrase=args[1])
         return f"authenticated: session {self.session}"
 
-    def _cmd_sites(self, args) -> Generator[Event, None, str]:
+    def _cmd_sites(self, args, ctx=None) -> Generator[Event, None, str]:
         self._require_session()
-        listing = yield self._agent("listSites")
+        listing = yield self._agent("listSites", ctx=ctx)
         return listing.replace(",", "\n")
 
-    def _cmd_run(self, args) -> Generator[Event, None, str]:
+    def _cmd_run(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) < 2:
             raise ReproError("usage: run <site> <file> [args...]")
         session = self._require_session()
@@ -134,37 +154,39 @@ class CyberaideShell:
         if filename not in self.files:
             raise ReproError(f"no local file {filename!r} (see 'files')")
         spec = CyberaideJobSpec(filename, arguments=job_args)
-        yield self._agent("uploadExecutable", session=session, site=site,
-                          path=spec.staged_path(), data=self.files[filename])
-        job_id = yield self._agent("submitJob", session=session, site=site,
+        yield self._agent("uploadExecutable", ctx=ctx, session=session,
+                          site=site, path=spec.staged_path(),
+                          data=self.files[filename])
+        job_id = yield self._agent("submitJob", ctx=ctx, session=session,
+                                   site=site,
                                    rsl=spec.to_rsl(job_tag="shell"))
         return f"submitted: {job_id}"
 
-    def _cmd_status(self, args) -> Generator[Event, None, str]:
+    def _cmd_status(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) != 2:
             raise ReproError("usage: status <site> <job-id>")
         session = self._require_session()
-        state = yield self._agent("jobStatus", session=session, site=args[0],
-                                  jobId=args[1])
+        state = yield self._agent("jobStatus", ctx=ctx, session=session,
+                                  site=args[0], jobId=args[1])
         return f"{args[1]}: {state}"
 
-    def _cmd_output(self, args) -> Generator[Event, None, str]:
+    def _cmd_output(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) != 2:
             raise ReproError("usage: output <site> <job-id>")
         session = self._require_session()
-        data = yield self._agent("fetchOutput", session=session, site=args[0],
-                                 jobId=args[1])
+        data = yield self._agent("fetchOutput", ctx=ctx, session=session,
+                                 site=args[0], jobId=args[1])
         try:
             return data.decode("utf-8")
         except UnicodeDecodeError:
             return f"(binary output, {len(data)} bytes)"
 
-    def _cmd_cancel(self, args) -> Generator[Event, None, str]:
+    def _cmd_cancel(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) != 2:
             raise ReproError("usage: cancel <site> <job-id>")
         session = self._require_session()
-        ok = yield self._agent("cancelJob", session=session, site=args[0],
-                               jobId=args[1])
+        ok = yield self._agent("cancelJob", ctx=ctx, session=session,
+                               site=args[0], jobId=args[1])
         return f"{args[1]}: {'canceled' if ok else 'not canceled'}"
 
     # -- SaaS-side commands (need the UDDI inquiry endpoint) -----------------
@@ -174,11 +196,12 @@ class CyberaideShell:
             raise ReproError("no UDDI inquiry endpoint configured")
         return self.inquiry_endpoint
 
-    def _cmd_discover(self, args) -> Generator[Event, None, str]:
+    def _cmd_discover(self, args, ctx=None) -> Generator[Event, None, str]:
         if len(args) != 1:
             raise ReproError("usage: discover <name-pattern>")
         inquiry = self._require_inquiry()
-        raw = yield self.client.call(inquiry, "findService", pattern=args[0])
+        raw = yield self.client.call(inquiry, "findService", ctx=ctx,
+                                     pattern=args[0])
         from repro.ws.uddi_service import parse_service_lines
         hits = parse_service_lines(raw)
         if not hits:
@@ -186,7 +209,7 @@ class CyberaideShell:
         return "\n".join(f"{h['name']}  —  {h['description'] or '(no description)'}"
                          for h in hits)
 
-    def _cmd_invoke(self, args) -> Generator[Event, None, str]:
+    def _cmd_invoke(self, args, ctx=None) -> Generator[Event, None, str]:
         if not args:
             raise ReproError("usage: invoke <name-pattern> [name=value...]")
         inquiry = self._require_inquiry()
@@ -202,16 +225,17 @@ class CyberaideShell:
         from repro.ws.uddi_service import parse_binding_lines, parse_service_lines
 
         hits = parse_service_lines(
-            (yield self.client.call(inquiry, "findService", pattern=pattern)))
+            (yield self.client.call(inquiry, "findService", ctx=ctx,
+                                    pattern=pattern)))
         if not hits:
             raise ReproError(f"no service matches {pattern!r}")
         bindings = parse_binding_lines(
-            (yield self.client.call(inquiry, "getBindings",
+            (yield self.client.call(inquiry, "getBindings", ctx=ctx,
                                     serviceKey=hits[0]["key"])))
         if not bindings:
             raise ReproError(f"service {hits[0]['name']!r} has no binding")
         endpoint = bindings[0]["access_point"]
-        document = yield self.client.fetch_wsdl(endpoint)
+        document = yield self.client.fetch_wsdl(endpoint, ctx=ctx)
         stub = generate_stub(document)(self.client)
         execute = stub.DESCRIPTION.operation("execute")
         # Coerce the string parameters to the WSDL-declared types.
@@ -225,5 +249,5 @@ class CyberaideShell:
         extra = set(raw_params) - {p.name for p in execute.params}
         if extra:
             raise ReproError(f"unknown parameters {sorted(extra)}")
-        result = yield stub.execute(**typed)
+        result = yield stub.execute(ctx=ctx, **typed)
         return str(result)

@@ -14,8 +14,9 @@ job), which is why many-small-jobs workloads amortize well.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Sequence
+from typing import Dict, Generator, Optional, Sequence
 
+from repro.core.context import RequestContext, span
 from repro.errors import SubmissionRefused
 from repro.grid.job import JobState
 from repro.grid.rsl import parse_rsl
@@ -51,28 +52,30 @@ class GramGatekeeper:
     # -- operations (all simulation processes) ------------------------------
 
     def submit(self, client: Host, chain: Sequence[Certificate],
-               rsl_text: str) -> Process:
+               rsl_text: str,
+               ctx: Optional[RequestContext] = None) -> Process:
         """Submit a job described by *rsl_text*; value is the job id."""
 
         def op() -> Generator[Event, None, str]:
-            handshake = GsiAcceptor.handshake_bytes(chain)
-            yield client.send(
-                self.host,
-                handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
-                label="gram-submit")
-            try:
-                ctx = self.site.acceptor.accept(chain, self.sim.now)
-                description = parse_rsl(rsl_text)
-            except Exception:
-                self.refusals += 1
-                yield self.host.send(client, 512, label="gram-refused")
-                raise
-            yield self.host.compute(self.REQUEST_CPU, tag="gram")
-            job = self.site.create_job(description, owner=ctx.subject)
-            done = self.site.run_job(job)
-            self._completions[job.job_id] = done
-            self.submissions += 1
-            yield self.host.send(client, 512, label="gram-handle")
+            with span(ctx, "gram:submit", site=self.site.name):
+                handshake = GsiAcceptor.handshake_bytes(chain)
+                yield client.send(
+                    self.host,
+                    handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
+                    label="gram-submit")
+                try:
+                    gsi = self.site.acceptor.accept(chain, self.sim.now)
+                    description = parse_rsl(rsl_text)
+                except Exception:
+                    self.refusals += 1
+                    yield self.host.send(client, 512, label="gram-refused")
+                    raise
+                yield self.host.compute(self.REQUEST_CPU, tag="gram")
+                job = self.site.create_job(description, owner=gsi.subject)
+                done = self.site.run_job(job)
+                self._completions[job.job_id] = done
+                self.submissions += 1
+                yield self.host.send(client, 512, label="gram-handle")
             return job.job_id
 
         return self.sim.process(op(), name="gram-submit")
@@ -101,7 +104,8 @@ class GramGatekeeper:
 
         return self.sim.process(op(), name=f"gram-cancel:{job_id}")
 
-    def fetch_output(self, client: Host, job_id: str) -> Process:
+    def fetch_output(self, client: Host, job_id: str,
+                     ctx: Optional[RequestContext] = None) -> Process:
         """Fetch whatever output exists *now* (the tentative poll).
 
         For a running job this transfers the partial placeholder bytes;
@@ -113,12 +117,14 @@ class GramGatekeeper:
         """
 
         def op() -> Generator[Event, None, bytes]:
-            yield client.send(self.host, self.POLL_BYTES, label="gram-output")
-            data = self.site.partial_output(job_id)
-            if data:
-                yield self.host.disk_read(len(data))
-            yield self.host.send(client, max(len(data), 128),
-                                 label="gram-output-rsp")
+            with span(ctx, "gram:fetch-output", job=job_id):
+                yield client.send(self.host, self.POLL_BYTES,
+                                  label="gram-output")
+                data = self.site.partial_output(job_id)
+                if data:
+                    yield self.host.disk_read(len(data))
+                yield self.host.send(client, max(len(data), 128),
+                                     label="gram-output-rsp")
             return data
 
         return self.sim.process(op(), name=f"gram-output:{job_id}")

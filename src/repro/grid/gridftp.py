@@ -8,8 +8,9 @@ in Figure 7 is exactly a ``put`` through a thin uplink.
 
 from __future__ import annotations
 
-from typing import Generator, Sequence
+from typing import Generator, Optional, Sequence
 
+from repro.core.context import RequestContext, span
 from repro.errors import TransferError
 from repro.grid.site import GridSite
 from repro.hardware.host import Host
@@ -41,7 +42,8 @@ class GridFtpServer:
         self.site.acceptor.accept(chain, self.sim.now)
 
     def put(self, client: Host, chain: Sequence[Certificate],
-            path: str, data: bytes, streams: int = 1) -> Process:
+            path: str, data: bytes, streams: int = 1,
+            ctx: Optional[RequestContext] = None) -> Process:
         """Upload *data* to *path* in the site storage area.
 
         *streams* opens that many parallel data connections (GridFTP's
@@ -54,45 +56,51 @@ class GridFtpServer:
             raise TransferError("streams must be >= 1")
 
         def op() -> Generator[Event, None, int]:
-            handshake = GsiAcceptor.handshake_bytes(chain)
-            yield client.send(self.host,
-                              handshake + streams * self.CONTROL_BYTES,
-                              label="gridftp-ctl")
-            self._authenticate(chain)
-            if streams == 1:
-                yield client.send(self.host, len(data),
-                                  label=f"gridftp-put:{path}")
-            else:
-                chunk = len(data) // streams
-                sizes = [chunk] * (streams - 1)
-                sizes.append(len(data) - chunk * (streams - 1))
-                yield self.sim.all_of([
-                    client.send(self.host, size,
-                                label=f"gridftp-put:{path}#{i}")
-                    for i, size in enumerate(sizes)])
-            yield self.host.compute(
-                self.CPU_PER_MB * len(data) / (1024 * 1024), tag="gridftp")
-            yield self.host.disk_write(len(data))
-            self.site.store_file(path, data)
-            self.transfers_in += 1
+            with span(ctx, "gridftp:put", site=self.site.name,
+                      bytes=len(data)):
+                handshake = GsiAcceptor.handshake_bytes(chain)
+                yield client.send(self.host,
+                                  handshake + streams * self.CONTROL_BYTES,
+                                  label="gridftp-ctl")
+                self._authenticate(chain)
+                if streams == 1:
+                    yield client.send(self.host, len(data),
+                                      label=f"gridftp-put:{path}")
+                else:
+                    chunk = len(data) // streams
+                    sizes = [chunk] * (streams - 1)
+                    sizes.append(len(data) - chunk * (streams - 1))
+                    yield self.sim.all_of([
+                        client.send(self.host, size,
+                                    label=f"gridftp-put:{path}#{i}")
+                        for i, size in enumerate(sizes)])
+                yield self.host.compute(
+                    self.CPU_PER_MB * len(data) / (1024 * 1024),
+                    tag="gridftp")
+                yield self.host.disk_write(len(data))
+                self.site.store_file(path, data)
+                self.transfers_in += 1
             return len(data)
 
         return self.sim.process(op(), name=f"gridftp-put:{path}")
 
     def get(self, client: Host, chain: Sequence[Certificate],
-            path: str) -> Process:
+            path: str, ctx: Optional[RequestContext] = None) -> Process:
         """Download *path* from the site storage area."""
         def op() -> Generator[Event, None, bytes]:
-            handshake = GsiAcceptor.handshake_bytes(chain)
-            yield client.send(self.host, handshake + self.CONTROL_BYTES,
-                              label="gridftp-ctl")
-            self._authenticate(chain)
-            if not self.site.has_file(path):
-                raise TransferError(f"{self.site.name}: no such file {path!r}")
-            data = self.site.read_file(path)
-            yield self.host.disk_read(len(data))
-            yield self.host.send(client, len(data), label=f"gridftp-get:{path}")
-            self.transfers_out += 1
+            with span(ctx, "gridftp:get", site=self.site.name):
+                handshake = GsiAcceptor.handshake_bytes(chain)
+                yield client.send(self.host, handshake + self.CONTROL_BYTES,
+                                  label="gridftp-ctl")
+                self._authenticate(chain)
+                if not self.site.has_file(path):
+                    raise TransferError(
+                        f"{self.site.name}: no such file {path!r}")
+                data = self.site.read_file(path)
+                yield self.host.disk_read(len(data))
+                yield self.host.send(client, len(data),
+                                     label=f"gridftp-get:{path}")
+                self.transfers_out += 1
             return data
 
         return self.sim.process(op(), name=f"gridftp-get:{path}")

@@ -8,8 +8,13 @@ cumulative counters each interval, and records per-interval rates into
 :class:`~repro.telemetry.series.TimeSeries` objects.
 """
 
+from repro.telemetry.metrics import (
+    LatencyHistogram, MetricsRegistry, OperationMetrics,
+)
 from repro.telemetry.report import render_figure, series_table, to_csv
 from repro.telemetry.sampler import HostSampler
 from repro.telemetry.series import TimeSeries
 
-__all__ = ["TimeSeries", "HostSampler", "render_figure", "series_table", "to_csv"]
+__all__ = ["TimeSeries", "HostSampler", "render_figure", "series_table",
+           "to_csv", "LatencyHistogram", "MetricsRegistry",
+           "OperationMetrics"]

@@ -12,12 +12,22 @@ Layering::
     client.py   WsClient + wsimport-style stub generation
     uddi.py     UDDI registry (publish / find)
     server.py   SoapServer: deploy services, dispatch invocations
+    pipeline.py interceptor chain (fault/metrics/admission/trace/deadline)
     wsdl.py     WSDL generation and parsing
     soap.py     Envelope encode/decode, faults
     xmlcodec.py typed value <-> XML codec
+
+Both :class:`SoapServer` and :class:`WsClient` route every request
+through a :class:`~repro.ws.pipeline.Pipeline` — the unified request
+fabric's dispatch spine.
 """
 
 from repro.ws.client import WsClient, generate_stub
+from repro.ws.pipeline import (
+    AdmissionControlInterceptor, DeadlineInterceptor,
+    FaultTranslationInterceptor, Interceptor, Invocation,
+    MetricsInterceptor, Pipeline, TracingInterceptor,
+)
 from repro.ws.registryapi import OperationSpec, ParameterSpec, ServiceDescription
 from repro.ws.server import SoapFabric, SoapServer
 from repro.ws.soap import SoapEnvelope
@@ -36,4 +46,12 @@ __all__ = [
     "WsClient",
     "generate_stub",
     "UddiRegistry",
+    "Pipeline",
+    "Interceptor",
+    "Invocation",
+    "FaultTranslationInterceptor",
+    "MetricsInterceptor",
+    "AdmissionControlInterceptor",
+    "TracingInterceptor",
+    "DeadlineInterceptor",
 ]

@@ -12,11 +12,17 @@ workflow of §VII.B.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Type
+from typing import Any, Dict, Generator, Optional, Type
 
+from repro.core.context import RequestContext, span
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
+from repro.telemetry.metrics import MetricsRegistry
+from repro.ws.pipeline import (
+    DeadlineInterceptor, Invocation, MetricsInterceptor, Pipeline,
+    TracingInterceptor,
+)
 from repro.ws.registryapi import OperationSpec
 from repro.ws.server import SoapFabric
 
@@ -31,14 +37,38 @@ class WsClient:
         self.sim = host.sim
         self.fabric = fabric
         self.calls_made = 0
+        #: Per-operation metrics as seen from this caller (includes
+        #: network time, unlike the server's registry).
+        self.metrics = MetricsRegistry(name=f"client@{host.name}")
+        #: Client-side interceptor chain around the wire round-trip.
+        #: No fault translation here: faults must *raise* in the caller.
+        self.pipeline = Pipeline([
+            MetricsInterceptor(self.sim, registry=self.metrics),
+            TracingInterceptor(),
+            DeadlineInterceptor(self.sim),
+        ])
 
-    def call(self, endpoint: str, operation: str, **params: Any) -> Process:
-        """Invoke ``operation`` at *endpoint* (a simulation process)."""
+    def call(self, endpoint: str, operation: str,
+             ctx: Optional[RequestContext] = None, **params: Any) -> Process:
+        """Invoke ``operation`` at *endpoint* (a simulation process).
+
+        *ctx*, when given, rides along to the server: spans open on both
+        sides of the wire and the deadline is enforced at each hop.
+        """
         server, service_name = self.fabric.resolve(endpoint)
         self.calls_made += 1
-        return server.invoke_from(self.host, service_name, operation, params)
+        inv = Invocation(ctx, service_name, operation, params, side="client")
 
-    def fetch_wsdl(self, endpoint: str) -> Process:
+        def terminal(inv: Invocation) -> Generator[Event, None, Any]:
+            return (yield from server.transport(
+                self.host, inv.service_name, inv.operation, inv.params,
+                inv.ctx))
+
+        return self.sim.process(self.pipeline.run(inv, terminal),
+                                name=f"invoke:{service_name}.{operation}")
+
+    def fetch_wsdl(self, endpoint: str,
+                   ctx: Optional[RequestContext] = None) -> Process:
         """Download a service's WSDL document (a simulation process).
 
         The document travels over the network like any other payload; the
@@ -48,9 +78,11 @@ class WsClient:
         document = server.wsdl(service_name)
 
         def op() -> Generator[Event, None, bytes]:
-            # Small request; the document itself dominates.
-            yield self.host.send(server.host, 256, label="wsdl-req")
-            yield server.host.send(self.host, len(document), label="wsdl-doc")
+            with span(ctx, f"client:wsdl.{service_name}"):
+                # Small request; the document itself dominates.
+                yield self.host.send(server.host, 256, label="wsdl-req")
+                yield server.host.send(self.host, len(document),
+                                       label="wsdl-doc")
             return document
 
         return self.sim.process(op(), name=f"fetch-wsdl:{service_name}")
@@ -125,10 +157,11 @@ def generate_stub_source(wsdl_document: bytes) -> str:
         call_args = "".join(f", {p.name}={p.name}" for p in op.params)
         lines += [
             "",
-            f"    def {op.name}(self{', *' + params if params else ''}):",
+            f"    def {op.name}(self{', *' + params if params else ''}"
+            ", ctx=None):",
             f'        """Invoke {op.name}({sig}) -> {op.return_type}."""',
             f"        return self._client.call(self.ENDPOINT, "
-            f"{op.name!r}{call_args})",
+            f"{op.name!r}{call_args}, ctx=ctx)",
         ]
     return "\n".join(lines) + "\n"
 
@@ -136,9 +169,9 @@ def generate_stub_source(wsdl_document: bytes) -> str:
 def _make_method(spec: OperationSpec):
     """A stub method for one operation (closure over its spec)."""
 
-    def method(self, **params: Any) -> Process:
+    def method(self, ctx: Any = None, **params: Any) -> Process:
         spec.validate_arguments(params)
-        return self._client.call(self._endpoint, spec.name, **params)
+        return self._client.call(self._endpoint, spec.name, ctx=ctx, **params)
 
     method.__name__ = spec.name
     sig = ", ".join(f"{p.name}: {p.xsd_type}" for p in spec.params)

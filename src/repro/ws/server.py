@@ -7,9 +7,12 @@ callable; invocations are full simulation processes that
 
 1. move the real encoded request envelope over the network,
 2. charge the server CPU for parsing/dispatch (scaled by message size),
-3. run the handler (which may itself be a simulation process — the
+3. run the request through the server's interceptor
+   :class:`~repro.ws.pipeline.Pipeline` (fault translation, metrics,
+   admission control, tracing, deadline) around the handler dispatch,
+4. run the handler (which may itself be a simulation process — the
    generated GridService handler submits grid jobs and takes minutes),
-4. move the real encoded response (or fault) back to the client.
+5. move the real encoded response (or fault) back to the client.
 
 :class:`SoapFabric` is the name service mapping ``soap://host/Service``
 endpoints to server objects, standing in for DNS+TCP connection setup.
@@ -18,21 +21,51 @@ endpoints to server objects, standing in for DNS+TCP connection setup.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import ReproError, ServiceNotFound, SoapFault, WsError
+from repro.core.context import RequestContext
+from repro.errors import ServiceNotFound, SoapFault, WsError
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
+from repro.telemetry.metrics import MetricsRegistry
 from repro.units import KB
+from repro.ws.pipeline import (
+    AdmissionControlInterceptor, DeadlineInterceptor,
+    FaultTranslationInterceptor, Invocation, MetricsInterceptor, Pipeline,
+    TracingInterceptor,
+)
 from repro.ws.registryapi import ServiceDescription
 from repro.ws.soap import SoapEnvelope
 from repro.ws.wsdl import generate_wsdl
 
 __all__ = ["SoapFabric", "SoapServer", "DeployedService"]
 
-#: Handler signature: (operation_name, arguments) -> value | generator.
-Handler = Callable[[str, Dict[str, Any]], Any]
+#: Handler signature: ``(operation_name, arguments)`` or, for
+#: context-aware handlers, ``(operation_name, arguments, ctx)``
+#: -> value | generator.
+Handler = Callable[..., Any]
+
+
+def _handler_wants_context(handler: Handler) -> bool:
+    """True if *handler* accepts the request context as a third argument.
+
+    Decided once at deploy time so the per-request dispatch stays a
+    plain call.  Existing two-argument handlers keep working unchanged.
+    """
+    try:
+        sig = inspect.signature(handler)
+    except (TypeError, ValueError):  # builtins without signatures
+        return False
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind == param.VAR_POSITIONAL:
+            return True
+        if param.name == "ctx":
+            return True
+        if param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD):
+            positional += 1
+    return positional >= 3
 
 
 class SoapFabric:
@@ -59,6 +92,8 @@ class SoapFabric:
         if "/" not in rest:
             raise WsError(f"endpoint {endpoint!r} lacks a service path")
         hostname, service = rest.split("/", 1)
+        if not service:
+            raise WsError(f"endpoint {endpoint!r} has an empty service path")
         server = self._servers.get(hostname)
         if server is None:
             raise ServiceNotFound(f"no SOAP server on host {hostname!r}")
@@ -69,7 +104,7 @@ class DeployedService:
     """A live service on a server."""
 
     __slots__ = ("description", "handler", "deployed_at", "invocations",
-                 "faults")
+                 "faults", "wants_context")
 
     def __init__(self, description: ServiceDescription, handler: Handler,
                  deployed_at: float):
@@ -78,6 +113,7 @@ class DeployedService:
         self.deployed_at = deployed_at
         self.invocations = 0
         self.faults = 0
+        self.wants_context = _handler_wants_context(handler)
 
 
 class SoapServer:
@@ -98,7 +134,23 @@ class SoapServer:
         if fabric is not None:
             fabric.register(self)
         self._services: Dict[str, DeployedService] = {}
+        self._undeploy_listeners: List[Callable[[str], None]] = []
         self.requests_served = 0
+        #: Per-operation latency/fault metrics, fed by the pipeline.
+        self.metrics = MetricsRegistry(name=f"{name}@{host.name}")
+        self.admission = AdmissionControlInterceptor(self.sim)
+        #: The server-side interceptor chain every request runs through.
+        #: Fault translation sits outermost so any exception — including
+        #: admission rejects and deadline expirations — still becomes a
+        #: fault envelope that travels back over the wire.
+        self.pipeline = Pipeline([
+            FaultTranslationInterceptor(
+                on_fault=lambda inv: self._count_fault(inv.service_name)),
+            MetricsInterceptor(self.sim, registry=self.metrics),
+            self.admission,
+            TracingInterceptor(),
+            DeadlineInterceptor(self.sim),
+        ])
 
     # -- deployment -----------------------------------------------------------
 
@@ -114,6 +166,18 @@ class SoapServer:
         if service_name not in self._services:
             raise ServiceNotFound(f"service {service_name!r} not deployed")
         del self._services[service_name]
+        for listener in list(self._undeploy_listeners):
+            listener(service_name)
+
+    def on_undeploy(self, listener: Callable[[str], None]) -> None:
+        """Register *listener(service_name)* to run after each undeploy.
+
+        Teardown cleanup (UDDI unpublish, registry erasure) hangs off
+        this hook so it happens no matter which path undeploys the
+        service — previously a direct :meth:`undeploy` left stale UDDI
+        bindingTemplates behind.
+        """
+        self._undeploy_listeners.append(listener)
 
     def endpoint_for(self, service_name: str) -> str:
         return f"{SoapFabric.SCHEME}{self.host.name}/{service_name}"
@@ -136,60 +200,71 @@ class SoapServer:
     # -- invocation ---------------------------------------------------------------
 
     def invoke_from(self, client: Host, service_name: str, operation: str,
-                    params: Dict[str, Any]) -> Process:
+                    params: Dict[str, Any],
+                    ctx: Optional[RequestContext] = None) -> Process:
         """Invoke ``service.operation(params)`` from *client*.
 
         Returns a simulation process whose value is the operation's
         return value; SOAP faults raise :class:`SoapFault` in the caller.
+        (:class:`~repro.ws.client.WsClient` wraps :meth:`transport` in
+        its own pipeline instead, so client-side interceptors run too.)
         """
+        return self.sim.process(
+            self.transport(client, service_name, operation, params, ctx),
+            name=f"invoke:{service_name}.{operation}")
 
-        def call() -> Generator[Event, None, Any]:
-            request = SoapEnvelope.request(operation, params,
-                                           namespace=f"urn:repro:{service_name}")
-            request_bytes = request.size()
-            yield client.send(self.host, request_bytes,
-                              label=f"soap-req:{service_name}.{operation}")
-            response = yield self.sim.process(
-                self._serve(request_bytes, service_name, operation, params))
-            yield self.host.send(client, response.size(),
-                                 label=f"soap-rsp:{service_name}.{operation}")
-            return response.result()  # raises the fault, if any
+    def transport(self, client: Host, service_name: str, operation: str,
+                  params: Dict[str, Any],
+                  ctx: Optional[RequestContext] = None,
+                  ) -> Generator[Event, None, Any]:
+        """The wire round-trip, as a generator for embedding in a process:
 
-        return self.sim.process(call(),
-                                name=f"invoke:{service_name}.{operation}")
+        encode + send the request envelope, serve it on this host, send
+        the response back, unwrap it (raising the fault, if any).
+        """
+        request = SoapEnvelope.request(operation, params,
+                                       namespace=f"urn:repro:{service_name}")
+        request_bytes = request.size()
+        yield client.send(self.host, request_bytes,
+                          label=f"soap-req:{service_name}.{operation}")
+        response = yield self.sim.process(
+            self._serve(request_bytes, service_name, operation, params, ctx))
+        yield self.host.send(client, response.size(),
+                             label=f"soap-rsp:{service_name}.{operation}")
+        return response.result()  # raises the fault, if any
 
     def _serve(self, request_bytes: int, service_name: str, operation: str,
-               params: Dict[str, Any]) -> Generator[Event, None, SoapEnvelope]:
-        """Server-side half: parse, validate, run handler, build response."""
+               params: Dict[str, Any],
+               ctx: Optional[RequestContext] = None,
+               ) -> Generator[Event, None, SoapEnvelope]:
+        """Server-side half: parse, then pipeline around the dispatch.
+
+        Always returns an envelope — the outermost fault-translation
+        interceptor turns any exception into a fault envelope, which
+        travels back over the network like a regular response.
+        """
         yield self.host.compute(
             self.DISPATCH_CPU + self.PARSE_CPU_PER_KB * request_bytes / KB(1),
             tag="soap")
         self.requests_served += 1
-        try:
-            svc = self.service(service_name)
-            spec = svc.description.operation(operation)
-            spec.validate_arguments(params)
-            svc.invocations += 1
-            result = svc.handler(operation, dict(params))
-            if inspect.isgenerator(result):
-                result = yield self.sim.process(
-                    result, name=f"handler:{service_name}.{operation}")
-            return SoapEnvelope.response(operation, result)
-        except SoapFault as fault:
-            self._count_fault(service_name)
-            return SoapEnvelope.fault_response(fault)
-        except Exception as exc:
-            # Any handler exception becomes a fault on the wire — a SOAP
-            # container never lets implementation errors kill the
-            # connection.  Library errors keep their type in the detail;
-            # unexpected ones are marked as such.
-            self._count_fault(service_name)
-            code = "Server" if isinstance(exc, ReproError) else "Server.Internal"
-            return SoapEnvelope.fault_response(SoapFault(
-                faultcode=code,
-                faultstring=str(exc) or type(exc).__name__,
-                detail=type(exc).__name__,
-            ))
+        inv = Invocation(ctx, service_name, operation, params, side="server",
+                         request_bytes=request_bytes)
+        return (yield from self.pipeline.run(inv, self._dispatch))
+
+    def _dispatch(self, inv: Invocation) -> Generator[Event, None, SoapEnvelope]:
+        """Pipeline terminal: validate, run the handler, build the response."""
+        svc = self.service(inv.service_name)
+        spec = svc.description.operation(inv.operation)
+        spec.validate_arguments(inv.params)
+        svc.invocations += 1
+        if svc.wants_context:
+            result = svc.handler(inv.operation, dict(inv.params), inv.ctx)
+        else:
+            result = svc.handler(inv.operation, dict(inv.params))
+        if inspect.isgenerator(result):
+            result = yield self.sim.process(
+                result, name=f"handler:{inv.service_name}.{inv.operation}")
+        return SoapEnvelope.response(inv.operation, result)
 
     def _count_fault(self, service_name: str) -> None:
         svc = self._services.get(service_name)

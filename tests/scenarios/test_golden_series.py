@@ -1,0 +1,34 @@
+"""Golden-file determinism: figure series must be byte-identical.
+
+The committed CSVs under ``tests/scenarios/golden/`` were produced from
+the figure scenarios at seed 0.  Any change to event ordering anywhere
+in the stack — kernel, network, SOAP dispatch, the interceptor pipeline
+— shows up here as a byte diff, which is exactly the property the
+request fabric promises not to break.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import run_fig6, run_fig7, run_fig8
+from repro.telemetry.report import to_csv
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+FIGURES = {
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figure_series_match_committed_goldens(name):
+    golden_path = GOLDEN_DIR / f"{name}.csv"
+    golden = golden_path.read_text()
+    result = FIGURES[name](seed=0)
+    actual = to_csv(result.series) + "\n"
+    assert actual == golden, (
+        f"{name} series drifted from {golden_path} — determinism broke "
+        f"(or the scenario changed; regenerate the golden deliberately)")

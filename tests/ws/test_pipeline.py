@@ -1,0 +1,313 @@
+"""Unit tests for the interceptor pipeline (the request-fabric spine)."""
+
+import pytest
+
+from repro.core.context import RequestContext
+from repro.errors import SoapFault
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+from repro.units import Mbps
+from repro.ws import (
+    AdmissionControlInterceptor, DeadlineInterceptor, Interceptor,
+    Invocation, MetricsInterceptor, OperationSpec, ParameterSpec, Pipeline,
+    ServiceDescription, SoapFabric, SoapServer, TracingInterceptor, WsClient,
+)
+
+
+def make_env():
+    sim = Simulator()
+    net = Network(sim)
+    server_host = Host(sim, "appliance", net, HostSpec(cores=2))
+    client_host = Host(sim, "user", net, HostSpec())
+    net.connect("appliance", "user", bandwidth=Mbps(100), latency=0.005)
+    fabric = SoapFabric()
+    server = SoapServer(server_host, fabric)
+    client = WsClient(client_host, fabric)
+    return sim, server, client
+
+
+def echo_service():
+    return ServiceDescription("Echo", [
+        OperationSpec("say", [ParameterSpec("text")], "xsd:string"),
+    ])
+
+
+def echo_handler(operation, params):
+    return f"echo: {params['text']}"
+
+
+def drive(gen):
+    """Run a yield-free pipeline generator to completion."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("pipeline unexpectedly yielded")
+
+
+# -- chain composition -------------------------------------------------------
+
+class Recorder(Interceptor):
+    def __init__(self, tag, log):
+        self.tag = tag
+        self.log = log
+
+    def invoke(self, inv, call_next):
+        self.log.append(f"{self.tag}:in")
+        result = yield from call_next(inv)
+        self.log.append(f"{self.tag}:out")
+        return result
+
+
+def test_interceptors_run_in_order_and_unwind_in_reverse():
+    log = []
+    pipe = Pipeline([Recorder("a", log), Recorder("b", log),
+                     Recorder("c", log)])
+
+    def terminal(inv):
+        log.append("terminal")
+        return inv.params["x"] * 2
+        yield  # pragma: no cover - makes terminal a generator
+
+    inv = Invocation(None, "Svc", "op", {"x": 21}, side="server")
+    assert drive(pipe.run(inv, terminal)) == 42
+    assert log == ["a:in", "b:in", "c:in", "terminal",
+                   "c:out", "b:out", "a:out"]
+
+
+def test_pipeline_find_locates_interceptor_by_class():
+    sim = Simulator()
+    admission = AdmissionControlInterceptor(sim)
+    pipe = Pipeline([TracingInterceptor(), admission])
+    assert pipe.find(AdmissionControlInterceptor) is admission
+    assert pipe.find(DeadlineInterceptor) is None
+
+
+# -- admission control -------------------------------------------------------
+
+def test_admission_reject_short_circuits_before_handler():
+    sim, server, client = make_env()
+    calls = []
+
+    def slow_handler(operation, params):
+        calls.append(params["text"])
+        yield sim.timeout(5.0)
+        return "done"
+
+    endpoint = server.deploy(echo_service(), slow_handler)
+    server.admission.set_policy("Echo", max_concurrent=1)
+
+    results = {}
+
+    def first():
+        results["first"] = yield client.call(endpoint, "say", text="one")
+
+    def second():
+        yield sim.timeout(0.5)  # arrives while the first is in flight
+        try:
+            yield client.call(endpoint, "say", text="two")
+        except SoapFault as fault:
+            results["fault"] = fault
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+
+    assert results["first"] == "done"
+    fault = results["fault"]
+    assert fault.faultcode == "Server.Busy"
+    assert fault.detail == "AdmissionReject"
+    assert calls == ["one"]  # the rejected request never reached the handler
+    stats = server.admission.stats("Echo")
+    assert stats.admitted == 1
+    assert stats.rejected == 1
+    # the fault is visible in the server's per-operation metrics too
+    cell = server.metrics.get("Echo", "say")
+    assert cell.calls == 2
+    assert cell.fault_codes == {"Server.Busy": 1}
+
+
+def test_admission_queue_mode_serialises_instead_of_rejecting():
+    sim, server, client = make_env()
+    running = {"now": 0, "peak": 0}
+
+    def slow_handler(operation, params):
+        running["now"] += 1
+        running["peak"] = max(running["peak"], running["now"])
+        yield sim.timeout(2.0)
+        running["now"] -= 1
+        return params["text"]
+
+    endpoint = server.deploy(echo_service(), slow_handler)
+    server.admission.set_policy("Echo", max_concurrent=1, queue=True)
+
+    done = []
+
+    def caller(tag, delay):
+        yield sim.timeout(delay)
+        done.append((yield client.call(endpoint, "say", text=tag)))
+
+    for i, tag in enumerate(["a", "b", "c"]):
+        sim.process(caller(tag, 0.1 * i))
+    sim.run()
+
+    assert sorted(done) == ["a", "b", "c"]
+    assert running["peak"] == 1  # never more than the cap in flight
+    stats = server.admission.stats("Echo")
+    assert stats.admitted == 3
+    assert stats.rejected == 0
+    assert stats.queued >= 2
+
+
+def test_admission_queue_bound_rejects_overflow():
+    sim, server, client = make_env()
+
+    def slow_handler(operation, params):
+        yield sim.timeout(2.0)
+        return "ok"
+
+    endpoint = server.deploy(echo_service(), slow_handler)
+    server.admission.set_policy("Echo", max_concurrent=1, queue=True,
+                                max_queue=1)
+    faults = []
+
+    def caller(delay):
+        yield sim.timeout(delay)
+        try:
+            yield client.call(endpoint, "say", text="x")
+        except SoapFault as fault:
+            faults.append(fault.faultcode)
+
+    for i in range(3):
+        sim.process(caller(0.1 * i))
+    sim.run()
+
+    assert faults == ["Server.Busy"]  # third caller found the queue full
+    assert server.admission.stats("Echo").rejected == 1
+
+
+def test_admission_policy_can_be_removed():
+    sim = Simulator()
+    admission = AdmissionControlInterceptor(sim)
+    admission.set_policy("Echo", max_concurrent=2)
+    admission.set_policy("Echo", None)
+    inv = Invocation(None, "Echo", "say", {}, side="server")
+
+    def terminal(inv):
+        return "through"
+        yield  # pragma: no cover
+
+    assert drive(Pipeline([admission]).run(inv, terminal)) == "through"
+    with pytest.raises(ValueError):
+        admission.set_policy("Echo", 0)
+
+
+# -- deadlines ---------------------------------------------------------------
+
+def test_deadline_exceeded_faults_at_the_caller():
+    sim, server, client = make_env()
+    endpoint = server.deploy(echo_service(), echo_handler)
+    ctx = RequestContext.create(sim, principal="user", deadline=1.0)
+    faults = []
+
+    def caller():
+        yield sim.timeout(2.0)  # the deadline passes before we dispatch
+        try:
+            yield client.call(endpoint, "say", ctx=ctx, text="late")
+        except SoapFault as fault:
+            faults.append(fault)
+
+    sim.process(caller())
+    sim.run()
+
+    (fault,) = faults
+    # the client-side interceptor refuses first: no bytes hit the wire
+    assert fault.faultcode == "Client.DeadlineExceeded"
+    assert fault.detail == "DeadlineExceeded"
+    assert server.requests_served == 0
+    deadline = client.pipeline.find(DeadlineInterceptor)
+    assert deadline.expirations == 1
+    assert ctx.expired
+
+
+def test_live_deadline_lets_the_request_through():
+    sim, server, client = make_env()
+    endpoint = server.deploy(echo_service(), echo_handler)
+    ctx = RequestContext.create(sim, principal="user", deadline=100.0)
+    result = sim.run(until=client.call(endpoint, "say", ctx=ctx, text="hi"))
+    assert result == "echo: hi"
+    assert not ctx.expired
+    assert ctx.remaining < 100.0  # the call consumed simulated time
+
+
+# -- tracing -----------------------------------------------------------------
+
+def test_trace_spans_nest_client_around_server():
+    sim, server, client = make_env()
+    endpoint = server.deploy(echo_service(), echo_handler)
+    ctx = RequestContext.create(sim, principal="user")
+    sim.run(until=client.call(endpoint, "say", ctx=ctx, text="hi"))
+
+    client_span = ctx.root.find("client:Echo.say")
+    server_span = ctx.root.find("server:Echo.say")
+    assert client_span is not None and server_span is not None
+    assert server_span.parent is client_span
+    assert client_span.closed and server_span.closed
+    # the server span sits inside the client span's sim-time window
+    assert client_span.start <= server_span.start
+    assert server_span.end <= client_span.end
+    assert client_span.duration > 0
+    assert ctx.request_id in ctx.waterfall()
+
+
+def test_trace_span_marks_faulting_call():
+    sim, server, client = make_env()
+
+    def broken(operation, params):
+        raise RuntimeError("boom")
+
+    endpoint = server.deploy(echo_service(), broken)
+    ctx = RequestContext.create(sim, principal="user")
+    with pytest.raises(SoapFault):
+        sim.run(until=client.call(endpoint, "say", ctx=ctx, text="hi"))
+    server_span = ctx.root.find("server:Echo.say")
+    assert server_span.meta["error"] == "RuntimeError"
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_metrics_record_latency_on_both_sides():
+    sim, server, client = make_env()
+
+    def working_handler(operation, params):
+        yield sim.timeout(0.25)  # give the server span real sim time
+        return f"echo: {params['text']}"
+
+    endpoint = server.deploy(echo_service(), working_handler)
+    sim.run(until=client.call(endpoint, "say", text="hi"))
+    sim.run(until=client.call(endpoint, "say", text="ho"))
+
+    for registry in (server.metrics, client.metrics):
+        cell = registry.get("Echo", "say")
+        assert cell.calls == 2
+        assert cell.faults == 0
+        assert cell.latency.mean > 0
+    # client-observed latency includes the network; server's does not
+    assert (client.metrics.get("Echo", "say").latency.mean
+            > server.metrics.get("Echo", "say").latency.mean)
+
+
+def test_metrics_interceptor_standalone_counts_faults():
+    sim = Simulator()
+    metrics = MetricsInterceptor(sim, side="client")
+
+    def failing(inv):
+        raise SoapFault(faultcode="Server", faultstring="nope")
+        yield  # pragma: no cover
+
+    inv = Invocation(None, "Svc", "op", {}, side="client")
+    with pytest.raises(SoapFault):
+        drive(Pipeline([metrics]).run(inv, failing))
+    cell = metrics.registry.get("Svc", "op")
+    assert cell.fault_codes == {"Server": 1}

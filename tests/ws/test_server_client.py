@@ -116,6 +116,9 @@ def test_fabric_resolution_errors():
         client.fabric.resolve("http://appliance/Echo")
     with pytest.raises(WsError):
         client.fabric.resolve("soap://appliance")
+    # a trailing slash with nothing after it is not a service path
+    with pytest.raises(WsError, match="empty service path"):
+        client.fabric.resolve("soap://appliance/")
     with pytest.raises(ServiceNotFound):
         client.fabric.resolve("soap://ghost/Echo")
 
