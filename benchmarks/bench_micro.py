@@ -206,15 +206,17 @@ def test_micro_fairshare_contention(benchmark):
 
 
 def test_micro_pipeline_overhead():
-    """The interceptor pipeline must cost < 5% over direct dispatch.
+    """Pipeline + event-bus emission must cost < 5% over direct dispatch.
 
     Two stable measurements instead of one noisy difference: (a) the
-    pipeline's framing cost, measured against a trivial terminal where
-    the chain is the dominant signal, and (b) one realistic request
-    cycle (envelope build + encode + decode on both legs).  The
-    overhead budget is (a) as a fraction of (b) — comparing two nearly
-    equal ~100 us loops directly would bury the ~2 us signal in
-    scheduler noise.
+    pipeline's framing cost — which, since the metrics interceptor now
+    emits a ``ws.request`` telemetry event per crossing, includes the
+    observability plane's per-request bus cost — measured against a
+    trivial terminal where the chain is the dominant signal, and (b)
+    one realistic request cycle (envelope build + encode + decode on
+    both legs).  The overhead budget is (a) as a fraction of (b) —
+    comparing two nearly equal ~100 us loops directly would bury the
+    ~2 us signal in scheduler noise.
     """
     import time
 

@@ -33,6 +33,7 @@ from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
+from repro.telemetry.events import bus
 from repro.ws.client import WsClient, generate_stub
 from repro.ws.server import SoapFabric, SoapServer
 from repro.ws.uddi import UddiRegistry
@@ -108,6 +109,8 @@ class OnServe:
         self.agent = agent
         self.config = config or OnServeConfig()
         self.builder = ServiceBuilder(host, soap_server)
+        #: Observability plane: middleware milestones become events.
+        self.bus = bus(self.sim)
         # The wsimport-generated client for the agent: onServe talks to
         # its own agent through the web-service interface (paper §VI,
         # "client" package), over the loopback path.
@@ -248,6 +251,10 @@ class OnServe:
             created_at=self.sim.now)
         self.services[service_name] = service
         self.runtimes[service_name] = runtime
+        self.bus.emit("core.service_generated", layer="core",
+                      request_id=ctx.request_id if ctx else None,
+                      service=service_name, executable=record.name,
+                      archive_bytes=len(archive))
         return service
 
     def restore_services(self) -> Process:
@@ -303,6 +310,10 @@ class OnServe:
             1 if report.ok else 0,
             report.error,
         ])
+        self.bus.emit("core.invocation", layer="core",
+                      service=service_name, job_id=report.job_id,
+                      total=report.total, overhead=report.overhead,
+                      polls=report.polls, ok=report.ok)
 
     def usage_report(self) -> List[Dict[str, object]]:
         """Per-service usage aggregates from the history table."""

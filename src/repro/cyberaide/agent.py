@@ -24,6 +24,7 @@ from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
 from repro.security.x509 import Certificate
 from repro.simkernel.events import Event
+from repro.telemetry.events import bus
 from repro.ws.registryapi import OperationSpec, ParameterSpec, ServiceDescription
 
 __all__ = ["AgentConfig", "CyberaideAgent", "AgentSession"]
@@ -73,6 +74,8 @@ class CyberaideAgent:
         self.uploads = 0
         self.submissions = 0
         self.output_polls = 0
+        #: Observability plane: agent milestones become events.
+        self._bus = bus(self.sim)
 
     # -- service wiring ------------------------------------------------------
 
@@ -141,6 +144,9 @@ class CyberaideAgent:
         session_id = f"sess-{next(self._counter):06d}"
         self._sessions[session_id] = AgentSession(
             session_id, username, [proxy, ee], proxy.not_after)
+        self._bus.emit("agent.auth", layer="agent",
+                       request_id=ctx.request_id if ctx else None,
+                       username=username, session=session_id)
         return session_id
 
     def _op_listSites(self, ctx: Optional[RequestContext] = None
@@ -158,6 +164,9 @@ class CyberaideAgent:
         ftp = self._ftp(site)
         n = yield ftp.put(self.host, sess.chain, path, data, ctx=ctx)
         self.uploads += 1
+        self._bus.emit("agent.upload", layer="agent",
+                       request_id=ctx.request_id if ctx else None,
+                       site=site, path=path, nbytes=n)
         return n
 
     def _op_submitJob(self, session: str, site: str, rsl: str,
@@ -167,6 +176,9 @@ class CyberaideAgent:
         gram = self._gram(site)
         job_id = yield gram.submit(self.host, sess.chain, rsl, ctx=ctx)
         self.submissions += 1
+        self._bus.emit("agent.submit", layer="agent",
+                       request_id=ctx.request_id if ctx else None,
+                       site=site, job_id=job_id)
         return job_id
 
     def _op_jobStatus(self, session: str, site: str, jobId: str,
@@ -207,6 +219,9 @@ class CyberaideAgent:
         self._session(session)
         data = yield self._gram(site).fetch_output(self.host, jobId, ctx=ctx)
         self.output_polls += 1
+        self._bus.emit("agent.poll", layer="agent",
+                       request_id=ctx.request_id if ctx else None,
+                       site=site, job_id=jobId, nbytes=len(data))
         return data
 
     def _op_fetchFile(self, session: str, site: str, path: str,

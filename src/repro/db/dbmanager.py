@@ -91,6 +91,23 @@ class DbManager:
         self.costs = costs or DbCostModel()
         if self.TABLE not in self.db.tables:
             self.db.create_table(self.TABLE, _SCHEMA)
+        # Observability plane: WAL pressure as a gauge + append events.
+        # The log itself stays telemetry-free (it has no simulator); the
+        # manager, which owns the clock, feeds the plane via the log's
+        # observer hook.  Pure recording — no simulation events.
+        from repro.telemetry.events import bus
+        from repro.telemetry.gauges import gauges
+        wal_bus = bus(self.sim)
+        wal_gauge = gauges(self.sim).gauge("db.wal_bytes", unit="B")
+        wal_gauge.set(self.db.wal.size())
+
+        def _on_wal_change(delta: int, total: int) -> None:
+            wal_gauge.set(total)
+            if delta > 0:
+                wal_bus.emit("wal.append", layer="db", nbytes=delta,
+                             total=total)
+
+        self.db.wal.observer = _on_wal_change
 
     # -- executables --------------------------------------------------------
 

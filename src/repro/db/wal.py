@@ -101,6 +101,12 @@ class WriteAheadLog:
 
     def __init__(self, data: bytes = b""):
         self._buf = bytearray(data)
+        #: Optional pure observer, called as ``observer(delta, total)``
+        #: after every size change (append/truncate/reset).  The WAL
+        #: layer stays telemetry-free; :class:`~repro.db.dbmanager
+        #: .DbManager` hangs the log-pressure gauge and ``wal.append``
+        #: events off this hook.
+        self.observer = None
 
     # -- writing --------------------------------------------------------------
 
@@ -111,6 +117,8 @@ class WriteAheadLog:
         payload = body.getvalue()
         frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
         self._buf.extend(frame)
+        if self.observer is not None:
+            self.observer(len(frame), len(self._buf))
         return len(frame)
 
     def snapshot(self) -> bytes:
@@ -122,7 +130,10 @@ class WriteAheadLog:
 
     def truncate(self, nbytes: int) -> None:
         """Chop the log to its first *nbytes* bytes (simulates a crash)."""
+        before = len(self._buf)
         del self._buf[nbytes:]
+        if self.observer is not None and len(self._buf) != before:
+            self.observer(len(self._buf) - before, len(self._buf))
 
     def corrupt(self, offset: int) -> None:
         """Flip a byte at *offset* (simulates media corruption)."""
@@ -131,7 +142,10 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Discard all records (checkpoint complete)."""
+        before = len(self._buf)
         self._buf.clear()
+        if self.observer is not None and before:
+            self.observer(-before, 0)
 
     # -- reading -----------------------------------------------------------------
 

@@ -26,6 +26,8 @@ from repro.security.gsi import GsiAcceptor
 from repro.security.x509 import Certificate
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
 
 __all__ = ["GramGatekeeper"]
 
@@ -48,6 +50,11 @@ class GramGatekeeper:
         self.refusals = 0
         #: job_id -> completion event (fires with the terminal job).
         self._completions: Dict[str, Event] = {}
+        #: Observability plane: concurrent gatekeeper exchanges become a
+        #: gauge (the "GRAM queue" of §VIII.D), submissions become events.
+        self._bus = bus(self.sim)
+        self._inflight = gauges(self.sim).gauge(
+            f"gram.{site.name}.inflight", unit="reqs")
 
     # -- operations (all simulation processes) ------------------------------
 
@@ -57,25 +64,36 @@ class GramGatekeeper:
         """Submit a job described by *rsl_text*; value is the job id."""
 
         def op() -> Generator[Event, None, str]:
-            with span(ctx, "gram:submit", site=self.site.name):
-                handshake = GsiAcceptor.handshake_bytes(chain)
-                yield client.send(
-                    self.host,
-                    handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
-                    label="gram-submit")
-                try:
-                    gsi = self.site.acceptor.accept(chain, self.sim.now)
-                    description = parse_rsl(rsl_text)
-                except Exception:
-                    self.refusals += 1
-                    yield self.host.send(client, 512, label="gram-refused")
-                    raise
-                yield self.host.compute(self.REQUEST_CPU, tag="gram")
-                job = self.site.create_job(description, owner=gsi.subject)
-                done = self.site.run_job(job)
-                self._completions[job.job_id] = done
-                self.submissions += 1
-                yield self.host.send(client, 512, label="gram-handle")
+            rid = ctx.request_id if ctx is not None else None
+            self._inflight.adjust(+1)
+            try:
+                with span(ctx, "gram:submit", site=self.site.name):
+                    handshake = GsiAcceptor.handshake_bytes(chain)
+                    yield client.send(
+                        self.host,
+                        handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
+                        label="gram-submit")
+                    try:
+                        gsi = self.site.acceptor.accept(chain, self.sim.now)
+                        description = parse_rsl(rsl_text)
+                    except Exception as exc:
+                        self.refusals += 1
+                        self._bus.emit("gram.refused", layer="grid",
+                                       request_id=rid, site=self.site.name,
+                                       reason=type(exc).__name__)
+                        yield self.host.send(client, 512, label="gram-refused")
+                        raise
+                    yield self.host.compute(self.REQUEST_CPU, tag="gram")
+                    job = self.site.create_job(description, owner=gsi.subject)
+                    done = self.site.run_job(job)
+                    self._completions[job.job_id] = done
+                    self.submissions += 1
+                    self._bus.emit("gram.submit", layer="grid",
+                                   request_id=rid, site=self.site.name,
+                                   job_id=job.job_id)
+                    yield self.host.send(client, 512, label="gram-handle")
+            finally:
+                self._inflight.adjust(-1)
             return job.job_id
 
         return self.sim.process(op(), name="gram-submit")
@@ -125,6 +143,10 @@ class GramGatekeeper:
                     yield self.host.disk_read(len(data))
                 yield self.host.send(client, max(len(data), 128),
                                      label="gram-output-rsp")
+            self._bus.emit("gram.fetch_output", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           site=self.site.name, job_id=job_id,
+                           nbytes=len(data))
             return data
 
         return self.sim.process(op(), name=f"gram-output:{job_id}")

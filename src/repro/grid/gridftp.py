@@ -18,6 +18,8 @@ from repro.security.gsi import GsiAcceptor
 from repro.security.x509 import Certificate
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
 
 __all__ = ["GridFtpServer"]
 
@@ -36,6 +38,11 @@ class GridFtpServer:
         self.host = site.head
         self.transfers_in = 0
         self.transfers_out = 0
+        #: Observability plane: concurrent data connections become a
+        #: gauge, completed transfers become events.
+        self._bus = bus(self.sim)
+        self._streams = gauges(self.sim).gauge(
+            f"gridftp.{site.name}.streams", unit="conns")
 
     def _authenticate(self, chain: Sequence[Certificate]) -> None:
         # GSI mutual auth against the site's acceptor; raises on failure.
@@ -56,6 +63,7 @@ class GridFtpServer:
             raise TransferError("streams must be >= 1")
 
         def op() -> Generator[Event, None, int]:
+            started = self.sim.now
             with span(ctx, "gridftp:put", site=self.site.name,
                       bytes=len(data)):
                 handshake = GsiAcceptor.handshake_bytes(chain)
@@ -63,23 +71,31 @@ class GridFtpServer:
                                   handshake + streams * self.CONTROL_BYTES,
                                   label="gridftp-ctl")
                 self._authenticate(chain)
-                if streams == 1:
-                    yield client.send(self.host, len(data),
-                                      label=f"gridftp-put:{path}")
-                else:
-                    chunk = len(data) // streams
-                    sizes = [chunk] * (streams - 1)
-                    sizes.append(len(data) - chunk * (streams - 1))
-                    yield self.sim.all_of([
-                        client.send(self.host, size,
-                                    label=f"gridftp-put:{path}#{i}")
-                        for i, size in enumerate(sizes)])
+                self._streams.adjust(+streams)
+                try:
+                    if streams == 1:
+                        yield client.send(self.host, len(data),
+                                          label=f"gridftp-put:{path}")
+                    else:
+                        chunk = len(data) // streams
+                        sizes = [chunk] * (streams - 1)
+                        sizes.append(len(data) - chunk * (streams - 1))
+                        yield self.sim.all_of([
+                            client.send(self.host, size,
+                                        label=f"gridftp-put:{path}#{i}")
+                            for i, size in enumerate(sizes)])
+                finally:
+                    self._streams.adjust(-streams)
                 yield self.host.compute(
                     self.CPU_PER_MB * len(data) / (1024 * 1024),
                     tag="gridftp")
                 yield self.host.disk_write(len(data))
                 self.site.store_file(path, data)
                 self.transfers_in += 1
+            self._bus.emit("gridftp.put", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           site=self.site.name, path=path, nbytes=len(data),
+                           streams=streams, seconds=self.sim.now - started)
             return len(data)
 
         return self.sim.process(op(), name=f"gridftp-put:{path}")
@@ -88,6 +104,7 @@ class GridFtpServer:
             path: str, ctx: Optional[RequestContext] = None) -> Process:
         """Download *path* from the site storage area."""
         def op() -> Generator[Event, None, bytes]:
+            started = self.sim.now
             with span(ctx, "gridftp:get", site=self.site.name):
                 handshake = GsiAcceptor.handshake_bytes(chain)
                 yield client.send(self.host, handshake + self.CONTROL_BYTES,
@@ -98,9 +115,17 @@ class GridFtpServer:
                         f"{self.site.name}: no such file {path!r}")
                 data = self.site.read_file(path)
                 yield self.host.disk_read(len(data))
-                yield self.host.send(client, len(data),
-                                     label=f"gridftp-get:{path}")
+                self._streams.adjust(+1)
+                try:
+                    yield self.host.send(client, len(data),
+                                         label=f"gridftp-get:{path}")
+                finally:
+                    self._streams.adjust(-1)
                 self.transfers_out += 1
+            self._bus.emit("gridftp.get", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           site=self.site.name, path=path, nbytes=len(data),
+                           streams=1, seconds=self.sim.now - started)
             return data
 
         return self.sim.process(op(), name=f"gridftp-get:{path}")

@@ -18,11 +18,20 @@ __all__ = ["InformationService"]
 
 
 class InformationService:
-    """A registry of sites with capacity queries."""
+    """A registry of sites with capacity queries.
 
-    def __init__(self, name: str = "mds"):
+    When built with a simulator the service keeps a time-stamped
+    history of every :meth:`snapshot` and publishes each one on the
+    telemetry bus, so capacity evolution over a run can be replayed
+    (``history`` / ``history_series``) without re-running the scenario.
+    """
+
+    def __init__(self, name: str = "mds", sim=None):
         self.name = name
+        self.sim = sim
         self._sites: Dict[str, GridSite] = {}
+        #: (sim-time, capacity-table) pairs, one per snapshot() call.
+        self.history: List[tuple] = []
 
     def register(self, site: GridSite) -> None:
         if site.name in self._sites:
@@ -64,5 +73,32 @@ class InformationService:
         return hits[0]
 
     def snapshot(self) -> List[Dict[str, object]]:
-        """Capacity table of all sites (for reports)."""
-        return [site.info() for site in self.sites()]
+        """Capacity table of all sites (for reports).
+
+        With a simulator attached, each snapshot is appended to
+        :attr:`history` under the current sim-time and announced on the
+        telemetry bus (pure bookkeeping — no simulation events).
+        """
+        table = [site.info() for site in self.sites()]
+        if self.sim is not None:
+            self.history.append((self.sim.now, table))
+            from repro.telemetry.events import bus
+            bus(self.sim).emit("mds.snapshot", layer="grid",
+                               sites=len(table),
+                               free_cores=sum(r.get("free_cores", 0)
+                                              for r in table))
+        return table
+
+    def history_series(self, site_name: str, field: str = "free_cores"):
+        """One site's *field* over time, from the snapshot history.
+
+        Returns a :class:`~repro.telemetry.series.TimeSeries` built from
+        the recorded snapshots (empty if the site never appeared).
+        """
+        from repro.telemetry.series import TimeSeries
+        series = TimeSeries(f"mds.{site_name}.{field}")
+        for ts, table in self.history:
+            for row in table:
+                if row.get("name") == site_name and field in row:
+                    series.append(ts, float(row[field]))
+        return series

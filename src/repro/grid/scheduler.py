@@ -21,6 +21,8 @@ from repro.grid.job import GridJob, JobState
 from repro.grid.node import NodePool
 from repro.simkernel.events import Event
 from repro.simkernel.kernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
 
 __all__ = ["BatchScheduler"]
 
@@ -62,6 +64,19 @@ class BatchScheduler:
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.jobs_backfilled = 0
+        #: Observability plane: backlog/occupancy gauges + job lifecycle
+        #: events (pure recording — cannot perturb scheduling).
+        self._bus = bus(sim)
+        board = gauges(sim)
+        self._queued_gauge = board.gauge(f"sched.{name}.queued", unit="jobs")
+        self._running_gauge = board.gauge(f"sched.{name}.running", unit="jobs")
+        self._cores_gauge = board.gauge(f"sched.{name}.busy_cores",
+                                        unit="cores")
+
+    def _observe(self) -> None:
+        self._queued_gauge.set(len(self._queue))
+        self._running_gauge.set(len(self._running))
+        self._cores_gauge.set(self.pool.total_cores - self.pool.free_cores)
 
     # -- interface ---------------------------------------------------------------
 
@@ -87,7 +102,11 @@ class BatchScheduler:
                        priority=priority, seq=self._seq)
         self._queue.append(entry)
         self._queue.sort(key=lambda e: (e.priority, e.seq))
+        self._bus.emit("sched.submit", layer="grid", job_id=job.job_id,
+                       scheduler=self.name, cores=job.description.count,
+                       priority=priority)
         self._schedule_pass()
+        self._observe()
         return entry.done_event
 
     def fail_node(self, node_name: str) -> List[str]:
@@ -124,6 +143,7 @@ class BatchScheduler:
             killed.append(entry.job.job_id)
             entry.done_event.succeed(entry.job)
         self._schedule_pass()
+        self._observe()
         return killed
 
     def cancel(self, job_id: str) -> None:
@@ -133,7 +153,11 @@ class BatchScheduler:
                 self._queue.remove(entry)
                 entry.job.transition(JobState.CANCELED, self.sim.now,
                                      reason="canceled while queued")
+                self._bus.emit("sched.finish", layer="grid", job_id=job_id,
+                               scheduler=self.name,
+                               state=JobState.CANCELED.value, ran=0.0)
                 entry.done_event.succeed(entry.job)
+                self._observe()
                 return
         entry = self._running.get(job_id)
         if entry is not None:
@@ -205,6 +229,10 @@ class BatchScheduler:
 
     def _start(self, entry: _Entry) -> None:
         job = entry.job
+        self._bus.emit("sched.start", layer="grid", job_id=job.job_id,
+                       scheduler=self.name,
+                       waited=self.sim.now - job.history.get(
+                           JobState.PENDING, self.sim.now))
         entry.placement = self.pool.allocate(job.description.count)
         # Heterogeneous hardware: the job advances at the pace of its
         # slowest allocated node (the classic synchronous-MPI model).
@@ -244,8 +272,12 @@ class BatchScheduler:
             self.jobs_completed += 1
         elif state is JobState.FAILED:
             self.jobs_failed += 1
+        self._bus.emit("sched.finish", layer="grid", job_id=job.job_id,
+                       scheduler=self.name, state=state.value,
+                       ran=self.sim.now - (job.started_at or self.sim.now))
         entry.done_event.succeed(job)
         self._schedule_pass()
+        self._observe()
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (f"<BatchScheduler {self.name!r} queued={self.queued_jobs} "

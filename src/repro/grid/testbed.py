@@ -124,7 +124,7 @@ def build_testbed(sim: Optional[Simulator] = None,
     sites: List[GridSite] = []
     gatekeepers: Dict[str, GramGatekeeper] = {}
     ftp_servers: Dict[str, GridFtpServer] = {}
-    mds = InformationService()
+    mds = InformationService(sim=sim)
     for name in TERAGRID_SITES[:n_sites]:
         site = GridSite(sim, name, network, nodes=nodes_per_site,
                         cores_per_node=cores_per_node,

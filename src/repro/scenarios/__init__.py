@@ -13,8 +13,11 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.scalability` — §VIII.D concurrency sweeps
 * :mod:`~repro.scenarios.overhead` — §VIII.B overhead-vs-runtime study
 * :mod:`~repro.scenarios.smallfiles` — §VIII.B many-small-files claim
+* :mod:`~repro.scenarios.bottleneck` — §VIII.D per-layer latency
+  attribution of one traced execution
 """
 
+from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
 from repro.scenarios.common import ScenarioEnv, standard_env
 from repro.scenarios.fig6 import Fig6Result, run_fig6
 from repro.scenarios.fig7 import Fig7Result, run_fig7
@@ -31,4 +34,5 @@ __all__ = [
     "ScalabilityResult", "run_scalability",
     "OverheadResult", "run_overhead",
     "SmallFilesResult", "run_smallfiles",
+    "BottleneckResult", "run_bottleneck",
 ]

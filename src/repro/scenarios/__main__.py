@@ -4,7 +4,9 @@ Runs one (or all) of the paper-reproduction harnesses and prints the
 rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
-Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles, all.
+Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
+bottleneck, all.  ``--smoke`` shrinks the workloads that support it
+(currently ``bottleneck``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -14,10 +16,13 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_fig6, run_fig7, run_fig8, run_overhead, run_scalability,
-    run_smallfiles,
+    run_bottleneck, run_fig6, run_fig7, run_fig8, run_overhead,
+    run_scalability, run_smallfiles,
 )
 from repro.units import MB
+
+#: Set by main() before dispatch; experiments read it where relevant.
+_SMOKE = False
 
 
 def _fig6() -> str:
@@ -51,6 +56,10 @@ def _smallfiles() -> str:
     return run_smallfiles(levels=(4, 8, 16)).render()
 
 
+def _bottleneck() -> str:
+    return run_bottleneck(smoke=_SMOKE).render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -58,6 +67,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "scalability": _scalability,
     "overhead": _overhead,
     "smallfiles": _smallfiles,
+    "bottleneck": _bottleneck,
 }
 
 
@@ -68,7 +78,11 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all"],
                         help="which experiment to run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink supported workloads for fast CI runs")
     args = parser.parse_args(argv)
+    global _SMOKE
+    _SMOKE = args.smoke
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for i, name in enumerate(names):

@@ -1,0 +1,165 @@
+"""Exporters: the observability plane in industry-standard formats.
+
+Two wire formats cover the two halves of the plane:
+
+* :func:`prometheus_text` renders metrics registries, gauge boards and
+  event-bus counters in the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket`` series with ``le``
+  labels, ``_count``/``_sum`` per histogram), so a run's numbers can be
+  diffed or scraped with stock tooling.
+* :func:`chrome_trace` serializes one or more request trace trees as
+  Chrome ``trace_event`` JSON (``ph="X"`` complete events, microsecond
+  ``ts``/``dur``), loadable in ``chrome://tracing`` / Perfetto for a
+  visual per-request waterfall.
+
+Both are pure functions over already-recorded state — exporting cannot
+perturb a run any more than recording could.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.context import RequestContext
+from repro.telemetry.events import EventBus
+from repro.telemetry.gauges import GaugeBoard
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["prometheus_text", "parse_prometheus_text", "chrome_trace"]
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric name from a dotted internal one."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers without the trailing ``.0``."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: Optional[MetricsRegistry] = None,
+                    board: Optional[GaugeBoard] = None,
+                    bus: Optional[EventBus] = None) -> str:
+    """Render the plane as Prometheus text exposition format.
+
+    * Each :class:`~repro.telemetry.metrics.OperationMetrics` becomes a
+      ``repro_request_latency_seconds`` histogram (cumulative buckets)
+      plus a ``repro_request_faults_total`` counter, labelled by
+      ``service`` and ``operation``.
+    * Each gauge becomes ``repro_<name>`` with its current level.
+    * Each event kind becomes a ``repro_events_total`` counter sample
+      labelled by ``kind`` (exact totals, eviction-proof).
+    """
+    lines: List[str] = []
+
+    if metrics is not None and metrics.all():
+        hist = "repro_request_latency_seconds"
+        lines.append(f"# HELP {hist} SOAP request latency by operation.")
+        lines.append(f"# TYPE {hist} histogram")
+        for m in metrics.all():
+            labels = f'service="{m.service}",operation="{m.operation}"'
+            h = m.latency
+            cumulative = 0
+            for bound, count in zip(h.bounds, h.counts):
+                cumulative += count
+                lines.append(f'{hist}_bucket{{{labels},le="{_fmt(bound)}"}} '
+                             f"{cumulative}")
+            lines.append(f'{hist}_bucket{{{labels},le="+Inf"}} {h.count}')
+            lines.append(f"{hist}_count{{{labels}}} {h.count}")
+            lines.append(f"{hist}_sum{{{labels}}} {_fmt(h.total)}")
+        faults = "repro_request_faults_total"
+        lines.append(f"# HELP {faults} SOAP faults by operation.")
+        lines.append(f"# TYPE {faults} counter")
+        for m in metrics.all():
+            labels = f'service="{m.service}",operation="{m.operation}"'
+            lines.append(f"{faults}{{{labels}}} {m.faults}")
+
+    if board is not None:
+        for name in board.names():
+            gauge = board.gauge(name)
+            metric = "repro_" + _sanitize(name)
+            unit = f" ({gauge.series.unit})" if gauge.series.unit else ""
+            lines.append(f"# HELP {metric} Gauge {name}{unit}.")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(gauge.current)}")
+
+    if bus is not None and bus.counts():
+        events = "repro_events_total"
+        lines.append(f"# HELP {events} Telemetry events by kind.")
+        lines.append(f"# TYPE {events} counter")
+        for kind in sorted(bus.counts()):
+            lines.append(f'{events}{{kind="{kind}"}} {bus.counts()[kind]}')
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{sample-name{labels}: value}``.
+
+    A deliberately strict reader used by tests and the CI smoke step:
+    it raises ``ValueError`` on any line that is neither a comment nor
+    a well-formed sample, so "does the exporter output parse?" is a
+    one-call check.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: not a sample: {line!r}")
+        name, value = parts
+        if not name or " " in name.split("{")[0]:
+            raise ValueError(f"line {lineno}: bad sample name: {line!r}")
+        if "{" in name and not name.endswith("}"):
+            raise ValueError(f"line {lineno}: unbalanced labels: {line!r}")
+        try:
+            samples[name] = float("inf") if value == "+Inf" else float(value)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value: {line!r}") from None
+    return samples
+
+
+def chrome_trace(contexts: Sequence[RequestContext],
+                 time_scale: float = 1e6) -> str:
+    """Serialize request traces as Chrome ``trace_event`` JSON.
+
+    Each request becomes one thread (``tid``) in a single process; each
+    closed span becomes a ``ph="X"`` complete event with microsecond
+    ``ts``/``dur`` (sim seconds x *time_scale*) and its meta as
+    ``args``.  Open spans are skipped — a trace viewer cannot render
+    events of unknown duration.
+    """
+    events: List[Dict[str, Any]] = []
+    for tid, ctx in enumerate(contexts, 1):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": f"{ctx.request_id} ({ctx.principal})"},
+        })
+        for _, node in ctx.root.walk():
+            if not node.closed:
+                continue
+            events.append({
+                "name": node.name,
+                "cat": node.name.split(":", 1)[0],
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": node.start * time_scale,
+                "dur": node.duration * time_scale,
+                "args": {k: v for k, v in sorted(node.meta.items())},
+            })
+    return json.dumps({"traceEvents": events,
+                       "displayTimeUnit": "ms"}, indent=1)

@@ -1,0 +1,131 @@
+"""Gauges: instantaneous levels (queue depths, utilization) as series.
+
+Where the host sampler polls cumulative hardware counters on a fixed
+interval, a :class:`Gauge` is *change-driven*: the instrumented
+component records the new level at the simulated instant it changes,
+and the gauge appends a sample only when the value actually moved.  No
+sampling process, no simulation events — attaching gauges cannot
+perturb a run (the same purity rule the event bus follows), yet the
+result is an ordinary :class:`~repro.telemetry.series.TimeSeries` that
+plots and summarizes alongside the sampler's.
+
+The :class:`GaugeBoard` is the per-simulator registry.  Components
+create their gauges through ``gauges(sim).gauge(name, unit)``; analysis
+code reads them back by name.  ``attach_resource`` instruments a
+:class:`~repro.simkernel.resources.Resource` (wait-queue depth and slot
+utilization) through the resource's observer hook, so GRAM head-node
+CPU queues and any other simkernel resource become visible without the
+simkernel layer knowing telemetry exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.telemetry.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+    from repro.simkernel.resources import Resource
+
+__all__ = ["Gauge", "GaugeBoard", "gauges"]
+
+
+class Gauge:
+    """One instantaneous level, recorded as a step series on change."""
+
+    __slots__ = ("sim", "series", "_current")
+
+    def __init__(self, sim: "Simulator", name: str, unit: str = ""):
+        self.sim = sim
+        self.series = TimeSeries(name, unit=unit)
+        self._current = 0.0
+
+    @property
+    def current(self) -> float:
+        return self._current
+
+    @property
+    def name(self) -> str:
+        return self.series.name
+
+    def set(self, value: float) -> None:
+        """Record *value* at the current simulated time (if it changed)."""
+        if value == self._current and len(self.series):
+            return
+        self._current = float(value)
+        self.series.append(self.sim.now, self._current)
+
+    def adjust(self, delta: float) -> None:
+        """Shift the level by *delta* (e.g. +1 on enqueue, -1 on grant)."""
+        self.set(self._current + delta)
+
+    def peak(self) -> float:
+        """Highest level ever recorded."""
+        return self.series.max()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<Gauge {self.series.name!r} current={self._current:g} "
+                f"samples={len(self.series)}>")
+
+
+class GaugeBoard:
+    """All gauges of one simulator run, created on first use."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._gauges: Dict[str, Gauge] = {}
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        """The (created-on-first-use) gauge called *name*."""
+        cell = self._gauges.get(name)
+        if cell is None:
+            cell = self._gauges[name] = Gauge(self.sim, name, unit=unit)
+        return cell
+
+    def get(self, name: str) -> Optional[Gauge]:
+        return self._gauges.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._gauges)
+
+    def series(self) -> List[TimeSeries]:
+        """Every gauge's series, name-ordered (for reports/exporters)."""
+        return [self._gauges[name].series for name in sorted(self._gauges)]
+
+    def peaks(self) -> Dict[str, float]:
+        """name -> peak level, for bottleneck summaries."""
+        return {name: self._gauges[name].peak()
+                for name in sorted(self._gauges)}
+
+    # -- instrumentation helpers -------------------------------------------
+
+    def attach_resource(self, resource: "Resource", prefix: str) -> None:
+        """Gauge a simkernel Resource's wait queue and utilization.
+
+        Installs an observer on *resource* feeding two gauges:
+        ``<prefix>.queue`` (waiting requests) and ``<prefix>.in_use``
+        (held slots).  The observer is a pure recorder; the resource
+        keeps zero telemetry knowledge.
+        """
+        queue_g = self.gauge(f"{prefix}.queue", unit="reqs")
+        used_g = self.gauge(f"{prefix}.in_use", unit="slots")
+
+        def observe(res: "Resource") -> None:
+            queue_g.set(len(res.queue))
+            used_g.set(len(res.users))
+
+        resource.observer = observe
+        observe(resource)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<GaugeBoard gauges={len(self._gauges)}>"
+
+
+def gauges(sim: "Simulator") -> GaugeBoard:
+    """The simulator's gauge board (lazily attached, one per run)."""
+    existing = getattr(sim, "_gauge_board", None)
+    if existing is None:
+        existing = GaugeBoard(sim)
+        sim._gauge_board = existing  # type: ignore[attr-defined]
+    return existing

@@ -53,17 +53,26 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from the bucket counts (upper bound)."""
+        """Approximate quantile from the bucket counts (upper bound).
+
+        q=0 returns the observed minimum and q=1 the observed maximum;
+        in between, the answer is the upper bound of the bucket holding
+        the target rank, clamped into [min, max] so an all-in-one-bucket
+        histogram never reports a latency outside what was observed.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q!r} outside [0, 1]")
         if self.count == 0:
             return 0.0
+        if q <= 0.0:
+            return self.min
         target = q * self.count
         seen = 0
         for i, n in enumerate(self.counts):
             seen += n
             if seen >= target:
-                return self.bounds[i] if i < len(self.bounds) else self.max
+                bound = self.bounds[i] if i < len(self.bounds) else self.max
+                return min(max(bound, self.min), self.max)
         return self.max
 
     def as_dict(self) -> Dict[str, object]:

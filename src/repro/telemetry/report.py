@@ -11,7 +11,8 @@ from typing import List, Sequence
 
 from repro.telemetry.series import TimeSeries
 
-__all__ = ["sparkline", "render_figure", "series_table", "to_csv"]
+__all__ = ["sparkline", "render_figure", "series_table", "to_csv",
+           "from_csv"]
 
 _BARS = " ▁▂▃▄▅▆▇█"
 
@@ -76,7 +77,7 @@ def series_table(series_list: Sequence[TimeSeries],
         head = rows[: max_rows // 2]
         tail = rows[-(max_rows - max_rows // 2):]
         rows = head + [["..."] * len(headers)] + tail
-    widths = [max(len(h), *(len(r[c]) for r in rows))
+    widths = [max([len(h)] + [len(r[c]) for r in rows])
               for c, h in enumerate(headers)]
     def fmt(row: List[str]) -> str:
         return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
@@ -97,3 +98,25 @@ def to_csv(series_list: Sequence[TimeSeries]) -> str:
             cells.append(f"{vals[i]:g}" if i < len(vals) else "")
         lines.append(",".join(cells))
     return "\n".join(lines)
+
+
+def from_csv(text: str) -> List[TimeSeries]:
+    """Parse :func:`to_csv` output back into series (round-trip inverse).
+
+    Empty cells (a shorter series on a shared time base) are skipped,
+    mirroring how ``to_csv`` emits them.
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return []
+    headers = lines[0].split(",")
+    if headers[0] != "time":
+        raise ValueError(f"not a series CSV (header {headers[0]!r})")
+    series_list = [TimeSeries(name) for name in headers[1:]]
+    for ln in lines[1:]:
+        cells = ln.split(",")
+        t = float(cells[0])
+        for s, cell in zip(series_list, cells[1:]):
+            if cell != "":
+                s.append(t, float(cell))
+    return series_list

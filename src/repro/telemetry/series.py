@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Tuple
 
 __all__ = ["TimeSeries"]
@@ -49,20 +50,24 @@ class TimeSeries:
         return list(self._values)
 
     def value_at(self, t: float) -> float:
-        """Value of the latest sample at or before *t* (0 if none)."""
-        best = 0.0
-        for st, sv in zip(self._times, self._values):
-            if st > t:
-                break
-            best = sv
-        return best
+        """Value of the latest sample at or before *t* (0 if none).
+
+        Times are non-decreasing by construction, so this is a binary
+        search — O(log n) where gauge-heavy runs used to pay O(n) per
+        lookup inside the critical-path analyzer.
+        """
+        idx = bisect_right(self._times, t)
+        if idx == 0:
+            return 0.0
+        return self._values[idx - 1]
 
     def slice(self, t0: float, t1: float) -> "TimeSeries":
-        """Samples with t0 <= t <= t1, as a new series."""
+        """Samples with t0 <= t <= t1, as a new series (binary search)."""
         out = TimeSeries(self.name, self.unit)
-        for t, v in self:
-            if t0 <= t <= t1:
-                out.append(t, v)
+        lo = bisect_left(self._times, t0)
+        hi = bisect_right(self._times, t1)
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
         return out
 
     # -- stats ------------------------------------------------------------------

@@ -43,6 +43,8 @@ from typing import (
 
 from repro.core.context import RequestContext
 from repro.errors import ReproError, SoapFault
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
 from repro.telemetry.metrics import MetricsRegistry
 from repro.ws.soap import SoapEnvelope
 
@@ -190,7 +192,15 @@ class FaultTranslationInterceptor(Interceptor):
 
 
 class MetricsInterceptor(Interceptor):
-    """Latency + fault accounting per (service, operation)."""
+    """Latency + fault accounting per (service, operation).
+
+    Besides the histogram registry, every completed crossing is emitted
+    on the simulator's :class:`~repro.telemetry.events.EventBus` as a
+    ``ws.request`` event (service, operation, side, latency, fault,
+    request id) — the bus record that lets downstream analysis join a
+    SOAP request with the grid activity it caused.  Emission is pure
+    bookkeeping: no simulation events, no simulated time.
+    """
 
     name = "metrics"
 
@@ -200,6 +210,14 @@ class MetricsInterceptor(Interceptor):
         self.sim = sim
         self.registry = registry if registry is not None \
             else MetricsRegistry(name=side)
+        self.bus = bus(sim)
+
+    def _emit(self, inv: Invocation, latency: float,
+              fault: Optional[str]) -> None:
+        self.bus.emit("ws.request", layer="ws",
+                      request_id=inv.ctx.request_id if inv.ctx else None,
+                      service=inv.service_name, operation=inv.operation,
+                      side=inv.side, latency=latency, fault=fault)
 
     def invoke(self, inv: Invocation, call_next: Continuation) -> Generator:
         started = self.sim.now
@@ -209,14 +227,17 @@ class MetricsInterceptor(Interceptor):
             self.registry.record(inv.service_name, inv.operation,
                                  self.sim.now - started,
                                  fault=fault.faultcode)
+            self._emit(inv, self.sim.now - started, fault.faultcode)
             raise
         except Exception as exc:
             self.registry.record(inv.service_name, inv.operation,
                                  self.sim.now - started,
                                  fault=type(exc).__name__)
+            self._emit(inv, self.sim.now - started, type(exc).__name__)
             raise
         self.registry.record(inv.service_name, inv.operation,
                              self.sim.now - started)
+        self._emit(inv, self.sim.now - started, None)
         return result
 
 
@@ -250,6 +271,7 @@ class AdmissionControlInterceptor(Interceptor):
         self.sim = sim
         self._policies: Dict[str, Dict[str, Any]] = {}
         self._states: Dict[str, _ServiceAdmission] = {}
+        self._board = gauges(sim)
 
     def set_policy(self, service_name: str, max_concurrent: Optional[int],
                    queue: bool = False,
@@ -281,6 +303,8 @@ class AdmissionControlInterceptor(Interceptor):
             return (yield from call_next(inv))
         state = self.stats(inv.service_name)
         cap = policy["max_concurrent"]
+        queue_gauge = self._board.gauge(
+            f"admission.{inv.service_name}.queue", unit="reqs")
         while state.in_flight >= cap:
             max_queue = policy["max_queue"]
             if not policy["queue"] or (max_queue is not None
@@ -294,7 +318,11 @@ class AdmissionControlInterceptor(Interceptor):
             slot = self.sim.event(f"admission:{inv.service_name}")
             state.waiters.append(slot)
             state.queued += 1
-            yield slot  # woken FIFO when a slot frees; then re-check
+            queue_gauge.set(len(state.waiters))
+            try:
+                yield slot  # woken FIFO when a slot frees; then re-check
+            finally:
+                queue_gauge.set(len(state.waiters))
         state.in_flight += 1
         state.peak = max(state.peak, state.in_flight)
         state.admitted += 1

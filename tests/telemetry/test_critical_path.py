@@ -1,0 +1,105 @@
+"""Tests for the critical-path latency attribution analyzer."""
+
+import pytest
+
+from repro.core.context import RequestContext, TraceSpan
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.critical_path import analyze_request
+from repro.telemetry.events import bus
+
+
+def _span(ctx, parent, name, start, end, **meta):
+    node = TraceSpan(name, start, parent=parent)
+    node.end = end
+    node.meta.update(meta)
+    return node
+
+
+def _synthetic_request(sim):
+    """A hand-built trace shaped like a real execute() request.
+
+    request [0, 10]
+      client:Svc.execute [0, 10]
+        server:Svc.execute [1, 9]
+          service:polling [2, 9] (job=j1)
+            client:CyberaideAgent.fetchOutput [3, 4]
+            client:CyberaideAgent.fetchOutput [6, 7]
+    """
+    ctx = RequestContext(sim, "req-synth")
+    ctx.root.end = 10.0
+    client = _span(ctx, ctx.root, "client:Svc.execute", 0.0, 10.0)
+    server = _span(ctx, client, "server:Svc.execute", 1.0, 9.0)
+    polling = _span(ctx, server, "service:polling", 2.0, 9.0, job="j1")
+    _span(ctx, polling, "client:CyberaideAgent.fetchOutput", 3.0, 4.0)
+    _span(ctx, polling, "client:CyberaideAgent.fetchOutput", 6.0, 7.0)
+    return ctx
+
+
+def test_self_time_partition_reconciles_exactly():
+    sim = Simulator(seed=0)
+    ctx = _synthetic_request(sim)
+    att = analyze_request(ctx)
+    assert att.total == 10.0
+    # Without scheduler events, all polling idle time is core/queueing.
+    assert att.buckets["core/queueing"] == pytest.approx(5.0)
+    assert att.buckets["ws/transfer"] == pytest.approx(4.0)  # client spans
+    assert att.buckets["ws/compute"] == pytest.approx(1.0)   # server span
+    assert att.attributed == pytest.approx(att.total)
+    assert att.reconciles(tol=0.01)
+
+
+def test_polling_idle_splits_on_scheduler_events():
+    sim = Simulator(seed=0)
+    ctx = _synthetic_request(sim)
+    b = bus(sim)
+    # Forge the job lifecycle: queued 2.5 -> 5.0, ran 5.0 -> 6.5.
+    for kind, ts in (("sched.submit", 2.5), ("sched.start", 5.0),
+                     ("sched.finish", 6.5)):
+        b.emit(kind, layer="grid", job_id="j1").ts = ts
+
+    att = analyze_request(ctx, bus=b)
+    # Idle gaps of the polling span: [2,3], [4,6], [7,9].
+    # queue [2.5,5]  overlaps 0.5 + 1.0;  run [5,6.5] overlaps 1.0.
+    assert att.buckets["grid/queueing"] == pytest.approx(1.5)
+    assert att.buckets["grid/compute"] == pytest.approx(1.0)
+    assert att.buckets["core/queueing"] == pytest.approx(2.5)
+    assert att.attributed == pytest.approx(att.total)
+    assert att.reconciles(tol=0.01)
+
+
+def test_ranked_table_and_repr():
+    sim = Simulator(seed=0)
+    att = analyze_request(_synthetic_request(sim))
+    ranked = att.ranked()
+    assert ranked[0][0] == "core/queueing"
+    assert [secs for _, secs in ranked] == \
+        sorted((s for _, s in ranked), reverse=True)
+    table = att.table()
+    assert "layer/category" in table
+    assert "total" in table
+    assert "100.0%" in table
+    layers = att.by_layer()
+    assert layers["ws"] == pytest.approx(5.0)
+    assert layers["core"] == pytest.approx(5.0)
+
+
+def test_open_spans_fall_back_to_root_end():
+    sim = Simulator(seed=0)
+    ctx = RequestContext(sim, "req-open")
+    client = _span(ctx, ctx.root, "client:Svc.execute", 0.0, 8.0)
+    # A span that never closed (e.g. the run ended mid-request).
+    TraceSpan("gridftp:put", 2.0, parent=client)
+    att = analyze_request(ctx)
+    assert att.total == 8.0
+    assert att.buckets["grid/transfer"] == pytest.approx(6.0)
+    assert att.buckets["ws/transfer"] == pytest.approx(2.0)
+    assert att.reconciles()
+
+
+def test_empty_request_attributes_nothing():
+    sim = Simulator(seed=0)
+    ctx = RequestContext(sim, "req-empty")
+    att = analyze_request(ctx)
+    assert att.total == 0.0
+    assert att.buckets == {}
+    assert att.reconciles()

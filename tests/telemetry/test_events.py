@@ -1,0 +1,90 @@
+"""Unit tests for the structured event bus."""
+
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.events import EventBus, bus
+
+
+def test_emit_records_time_kind_and_fields():
+    sim = Simulator(seed=0)
+    b = bus(sim)
+
+    def proc():
+        yield sim.timeout(2.5)
+        b.emit("gram.submit", layer="grid", request_id="req-000001",
+               site="anl", job_id="j1")
+
+    sim.run(until=sim.process(proc()))
+    (ev,) = b.events("gram.submit")
+    assert ev.ts == 2.5
+    assert ev.layer == "grid"
+    assert ev.request_id == "req-000001"
+    assert ev.get("site") == "anl"
+    assert ev.get("missing", "dflt") == "dflt"
+    assert ev.as_dict()["job_id"] == "j1"
+
+
+def test_bus_is_per_simulator_singleton():
+    sim_a, sim_b = Simulator(seed=0), Simulator(seed=0)
+    assert bus(sim_a) is bus(sim_a)
+    assert bus(sim_a) is not bus(sim_b)
+    bus(sim_a).emit("x")
+    assert len(bus(sim_b)) == 0
+
+
+def test_filters_by_kind_layer_and_request_id():
+    sim = Simulator(seed=0)
+    b = bus(sim)
+    b.emit("a.one", layer="ws", request_id="r1")
+    b.emit("a.one", layer="ws", request_id="r2")
+    b.emit("b.two", layer="grid", request_id="r1")
+    assert len(b.events("a.one")) == 2
+    assert len(b.events(layer="grid")) == 1
+    assert len(b.events(request_id="r1")) == 2
+    assert len(b.events("a.one", request_id="r2")) == 1
+
+
+def test_first_matches_on_fields():
+    sim = Simulator(seed=0)
+    b = bus(sim)
+    b.emit("sched.start", job_id="j1", waited=1.0)
+    b.emit("sched.start", job_id="j2", waited=2.0)
+    assert b.first("sched.start", job_id="j2").get("waited") == 2.0
+    assert b.first("sched.start", job_id="j9") is None
+    assert b.first("nope") is None
+
+
+def test_ring_eviction_keeps_exact_counts():
+    sim = Simulator(seed=0)
+    b = EventBus(sim, capacity=4)
+    for i in range(10):
+        b.emit("tick", i=i)
+    assert len(b) == 4  # ring holds only the newest
+    assert [ev.get("i") for ev in b] == [6, 7, 8, 9]
+    assert b.counts() == {"tick": 10}  # counters survive eviction
+    assert b.emitted == 10
+
+
+def test_subscribe_and_unsubscribe():
+    sim = Simulator(seed=0)
+    b = bus(sim)
+    seen = []
+    unsub = b.subscribe(lambda ev: seen.append(ev.kind), kinds=["a"])
+    b.emit("a")
+    b.emit("b")  # filtered out
+    assert seen == ["a"]
+    unsub()
+    b.emit("a")
+    assert seen == ["a"]
+
+
+def test_emission_is_observationally_pure():
+    """Emitting must not schedule anything on the simulator."""
+    sim = Simulator(seed=0)
+    b = bus(sim)
+    before = sim.now
+    for _ in range(100):
+        b.emit("noop", layer="test")
+    assert sim.now == before
+    # Nothing to run: the queue gained no events from emission.
+    sim.run()
+    assert sim.now == before

@@ -1,0 +1,116 @@
+"""Tests for the Prometheus and Chrome-trace exporters."""
+
+import json
+
+from repro.core.context import RequestContext
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.export import (
+    chrome_trace, parse_prometheus_text, prometheus_text,
+)
+from repro.telemetry.gauges import gauges
+from repro.telemetry.metrics import MetricsRegistry
+
+import pytest
+
+
+def _populated_registry():
+    reg = MetricsRegistry("test")
+    reg.record("Svc", "execute", 0.05)
+    reg.record("Svc", "execute", 1.5)
+    reg.record("Svc", "execute", 0.3, fault="GridError")
+    reg.record("Agent", "poll", 0.004)
+    return reg
+
+
+def test_prometheus_text_parses_and_counts_match():
+    sim = Simulator(seed=0)
+    reg = _populated_registry()
+    board = gauges(sim)
+    board.gauge("gram.anl.inflight", unit="reqs").set(3)
+    b = bus(sim)
+    b.emit("ws.request")
+    b.emit("ws.request")
+    b.emit("sched.start")
+
+    text = prometheus_text(metrics=reg, board=board, bus=b)
+    samples = parse_prometheus_text(text)
+
+    labels = 'service="Svc",operation="execute"'
+    assert samples[f"repro_request_latency_seconds_count{{{labels}}}"] == 3
+    assert samples[f"repro_request_latency_seconds_sum{{{labels}}}"] == \
+        pytest.approx(1.85)
+    assert samples[f"repro_request_faults_total{{{labels}}}"] == 1
+    assert samples["repro_gram_anl_inflight"] == 3
+    assert samples['repro_events_total{kind="ws.request"}'] == 2
+    assert samples['repro_events_total{kind="sched.start"}'] == 1
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    text = prometheus_text(metrics=_populated_registry())
+    samples = parse_prometheus_text(text)
+    labels = 'service="Svc",operation="execute"'
+    bounds = ["0.001", "0.01", "0.1", "1", "10", "60", "600", "+Inf"]
+    counts = [samples[f'repro_request_latency_seconds_bucket'
+                      f'{{{labels},le="{le}"}}'] for le in bounds]
+    assert counts == sorted(counts)  # cumulative => non-decreasing
+    assert counts[-1] == 3           # +Inf bucket equals the count
+
+
+def test_prometheus_empty_inputs_export_nothing():
+    assert prometheus_text() == ""
+    assert parse_prometheus_text("") == {}
+
+
+def test_parse_rejects_malformed_lines():
+    for bad in ("justaname", "name{unbalanced 1", "name notanumber"):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+
+def _traced_context():
+    sim = Simulator(seed=0)
+    ctx = RequestContext.create(sim, principal="user")
+
+    def op():
+        outer = ctx.begin_span("client:Svc.execute")
+        yield sim.timeout(1.0)
+        inner = ctx.begin_span("gridftp:put", site="anl")
+        yield sim.timeout(2.0)
+        ctx.end_span(inner)
+        yield sim.timeout(0.5)
+        ctx.end_span(outer)
+        ctx.begin_span("service:polling")  # left open deliberately
+
+    sim.run(until=sim.process(op()))
+    return ctx
+
+
+def test_chrome_trace_loads_and_uses_complete_events():
+    ctx = _traced_context()
+    doc = json.loads(chrome_trace([ctx]))
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "M"}  # complete events + thread metadata only
+    x_events = [e for e in events if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in x_events}
+    # Open spans are skipped; closed ones carry microsecond ts/dur.
+    assert "service:polling" not in by_name
+    put = by_name["gridftp:put"]
+    assert put["ts"] == 1.0 * 1e6
+    assert put["dur"] == 2.0 * 1e6
+    assert put["args"] == {"site": "anl"}
+    assert put["cat"] == "gridftp"
+    outer = by_name["client:Svc.execute"]
+    assert outer["dur"] == 3.5 * 1e6
+    assert outer["tid"] == put["tid"]  # one thread per request
+
+
+def test_chrome_trace_multiple_requests_get_distinct_threads():
+    a, b = _traced_context(), _traced_context()
+    doc = json.loads(chrome_trace([a, b]))
+    tids = {e["tid"] for e in doc["traceEvents"]}
+    assert tids == {1, 2}
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["name"] == "thread_name"]
+    assert all("req-" in n for n in names)

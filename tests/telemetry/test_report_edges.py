@@ -1,0 +1,99 @@
+"""Edge-case tests for telemetry report rendering and CSV round-trip."""
+
+from repro.telemetry.report import (
+    from_csv, render_figure, series_table, sparkline, to_csv,
+)
+from repro.telemetry.series import TimeSeries
+
+
+def make(name, points, unit=""):
+    s = TimeSeries(name, unit=unit)
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+# -- sparkline ---------------------------------------------------------------
+
+def test_sparkline_empty_series():
+    assert sparkline(TimeSeries("empty")) == "(empty)"
+
+
+def test_sparkline_constant_zero_series():
+    s = make("flat", [(t, 0.0) for t in range(5)])
+    line = sparkline(s)
+    assert line == " " * 5  # zero range renders the lowest bar
+
+
+def test_sparkline_constant_nonzero_series():
+    s = make("flat", [(t, 7.0) for t in range(5)])
+    line = sparkline(s)
+    assert len(line) == 5
+    assert len(set(line)) == 1  # constant value -> one bar height
+    assert line != " " * 5
+
+
+def test_sparkline_width_one():
+    s = make("s", [(0, 1.0), (1, 5.0), (2, 3.0)])
+    line = sparkline(s, width=1)
+    assert len(line) == 1
+
+
+def test_sparkline_never_exceeds_width():
+    s = make("s", [(t, float(t % 7)) for t in range(500)])
+    assert len(sparkline(s, width=72)) == 72
+
+
+# -- figures and tables ------------------------------------------------------
+
+def test_render_figure_with_empty_series():
+    fig = render_figure("title", [TimeSeries("nothing", unit="u")])
+    assert "title" in fig
+    assert "(empty)" in fig
+
+
+def test_series_table_empty_inputs():
+    assert series_table([]) == "(no series)"
+    assert "t(s)" in series_table([TimeSeries("a")])
+
+
+def test_series_table_truncates_middle():
+    s = make("a", [(t, float(t)) for t in range(100)])
+    table = series_table([s], max_rows=10)
+    assert "..." in table
+    assert len(table.splitlines()) == 12  # header + 10 rows + ellipsis
+
+
+# -- CSV round-trip ----------------------------------------------------------
+
+def test_to_csv_empty():
+    assert to_csv([]) == ""
+    assert from_csv("") == []
+
+
+def test_csv_round_trip():
+    a = make("net_out", [(0, 1.5), (3, 85.25), (6, 0.0)])
+    b = make("disk", [(0, 10.0), (3, 0.5), (6, 2.0)])
+    parsed = from_csv(to_csv([a, b]))
+    assert [s.name for s in parsed] == ["net_out", "disk"]
+    assert list(parsed[0]) == list(a)
+    assert list(parsed[1]) == list(b)
+
+
+def test_csv_round_trip_with_shorter_series():
+    a = make("long", [(0, 1.0), (3, 2.0), (6, 3.0)])
+    b = make("short", [(0, 9.0)])
+    text = to_csv([a, b])
+    assert text.splitlines()[2].endswith(",")  # empty cell emitted
+    parsed = from_csv(text)
+    assert list(parsed[0]) == list(a)
+    assert list(parsed[1]) == list(b)  # empty cells skipped on parse
+
+
+def test_from_csv_rejects_foreign_header():
+    try:
+        from_csv("a,b\n1,2")
+    except ValueError:
+        pass
+    else:  # pragma: no cover - failure path
+        raise AssertionError("expected ValueError for non-series CSV")

@@ -91,3 +91,48 @@ def test_plateau_detection():
 def test_nonzero_fraction():
     s = make([(0, 0.0), (1, 1.0), (2, 0.0), (3, 2.0)])
     assert s.nonzero_fraction() == 0.5
+
+
+def _naive_value_at(series, t):
+    """The pre-bisect linear scan, kept as the reference semantics."""
+    best = 0.0
+    for st, sv in zip(series.times, series.values):
+        if st > t:
+            break
+        best = sv
+    return best
+
+
+def _naive_slice(series, t0, t1):
+    out = TimeSeries(series.name, series.unit)
+    for t, v in series:
+        if t0 <= t <= t1:
+            out.append(t, v)
+    return out
+
+
+def test_value_at_bisect_matches_naive_scan():
+    # Includes duplicate timestamps (change-driven gauges can record
+    # several levels at one simulated instant).
+    s = make([(0, 1.0), (1, 2.0), (1, 3.0), (2.5, 4.0), (7, 5.0)])
+    probes = [-1.0, 0.0, 0.5, 1.0, 1.5, 2.5, 3.0, 6.9, 7.0, 100.0]
+    for t in probes:
+        assert s.value_at(t) == _naive_value_at(s, t), t
+
+
+def test_slice_bisect_matches_naive_scan():
+    s = make([(0, 1.0), (1, 2.0), (1, 3.0), (2.5, 4.0), (7, 5.0)])
+    windows = [(-5, -1), (-1, 0), (0, 1), (1, 1), (0.5, 2.5),
+               (2.6, 6.9), (0, 100), (8, 9)]
+    for t0, t1 in windows:
+        got = s.slice(t0, t1)
+        want = _naive_slice(s, t0, t1)
+        assert list(got) == list(want), (t0, t1)
+        assert got.name == want.name and got.unit == want.unit
+
+
+def test_slice_returns_independent_copy():
+    s = make([(0, 1.0), (1, 2.0)])
+    sliced = s.slice(0, 1)
+    sliced.append(2, 9.0)
+    assert len(s) == 2  # the original is untouched
