@@ -21,6 +21,15 @@ initializes the execution of an associated executable on the Grid"
    interval fetch whatever output exists, write it to the local disk
    (the periodic disk-write peaks of Figures 6-7), and check for the
    stdout file's existence; finish when it appears.
+
+Resilience: steps 3-6 run under :func:`_run_with_failover` — transient
+failures (see :func:`repro.errors.is_retryable`) are retried per call
+site with the middleware's backoff policy, trip the failed site's
+circuit breaker, and fail the whole invocation over to the next untried
+site (re-staging the executable via GridFTP) until the configured
+failover budget or the request deadline runs out.  With no faults
+injected none of this machinery creates a single extra simulation
+event.
 """
 
 from __future__ import annotations
@@ -31,7 +40,10 @@ from repro.core.context import RequestContext, span
 from repro.core.datastructures import ExecutableRecord
 from repro.core.watchdog import poll_until
 from repro.cyberaide.jobspec import CyberaideJobSpec
-from repro.errors import InvocationError
+from repro.errors import (
+    InvocationError, JobError, is_retryable, root_cause_name,
+)
+from repro.resilience.retry import retry_call
 from repro.simkernel.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -183,12 +195,13 @@ class GridServiceRuntime:
             # 2. Authentication through the agent (cached while fresh).
             mark = self.sim.now
             with span(ctx, "service:auth"):
-                session = yield from self._ensure_session(ctx)
+                yield from self._ensure_session(ctx)
             report.auth = self.sim.now - mark
 
-            # Pick a site (resource selection via the information service).
+            # Resource selection via the information service: the ranked
+            # listing is fetched once; the failover loop below walks it.
             sites = yield self.onserve.agent_stub.listSites(ctx=ctx)
-            site = self._choose_site(sites.split(",") if sites else [])
+            available = [s for s in (sites.split(",") if sites else []) if s]
 
             # Build the job spec from the declared parameters, in order.
             arguments = [_argument(params[p.name]) for p in self.record.params]
@@ -199,39 +212,71 @@ class GridServiceRuntime:
                 max_wall_time=cfg.default_walltime,
                 queue=cfg.default_queue)
 
-            # 3. Upload the executable to the site (re-uploaded every
-            #    time unless the upload-cache ablation is on).
-            mark = self.sim.now
-            with span(ctx, "service:upload", site=site):
-                staged = spec.staged_path()
-                if not (cfg.upload_cache and
-                        self.onserve.is_staged(site, staged, exe.payload)):
-                    yield self.onserve.agent_stub.uploadExecutable(
-                        session=session, site=site, path=staged,
-                        data=exe.payload, ctx=ctx)
-                    self.onserve.mark_staged(site, staged, exe.payload)
-                # The buffer is staged (or cached); collect it now.
-                host.release_memory(held_bytes)
-                held_bytes = 0
-            report.upload = self.sim.now - mark
+            def attempt_on_site(site: str):
+                """Steps 3-6 against one site (a delegated generator)."""
+                nonlocal held_bytes
+                policy = self.onserve.retry_policy
 
-            # 4.+5. Job description generation + submission.
-            mark = self.sim.now
-            with span(ctx, "service:submit", site=site):
-                yield host.compute(cfg.submit_cpu, tag="service")
-                rsl = spec.to_rsl(job_tag=tag)
-                job_id = yield self.onserve.agent_stub.submitJob(
-                    session=session, site=site, rsl=rsl, ctx=ctx)
-            report.job_id = job_id
-            report.submit = self.sim.now - mark
+                # 3. Upload the executable to the site (re-uploaded every
+                #    time unless the upload-cache ablation is on).
+                mark = self.sim.now
+                with span(ctx, "service:upload", site=site):
+                    staged = spec.staged_path()
+                    if not (cfg.upload_cache and
+                            self.onserve.is_staged(site, staged,
+                                                   exe.payload)):
+                        if held_bytes == 0:
+                            # Failover re-stage: the payload comes back
+                            # into RAM for the second GridFTP trip.
+                            host.allocate_memory(exe.size)
+                            held_bytes = exe.size
 
-            # 6. Wait for completion.
-            mark = self.sim.now
-            with span(ctx, "service:polling", job=report.job_id):
-                output = yield from self._await_output(session, site, spec,
-                                                       tag, job_id, report,
-                                                       ctx)
-            report.polling = self.sim.now - mark
+                        def upload_try():
+                            session = yield from self._ensure_session(ctx)
+                            return (yield self.onserve.agent_stub
+                                    .uploadExecutable(
+                                        session=session, site=site,
+                                        path=staged, data=exe.payload,
+                                        ctx=ctx))
+
+                        yield from retry_call(
+                            self.sim, policy, upload_try, ctx=ctx,
+                            label=f"upload:{site}",
+                            on_retry=self._recover_session)
+                        self.onserve.mark_staged(site, staged, exe.payload)
+                    # The buffer is staged (or cached); collect it now.
+                    host.release_memory(held_bytes)
+                    held_bytes = 0
+                report.upload += self.sim.now - mark
+
+                # 4.+5. Job description generation + submission.
+                mark = self.sim.now
+                with span(ctx, "service:submit", site=site):
+                    yield host.compute(cfg.submit_cpu, tag="service")
+                    rsl = spec.to_rsl(job_tag=tag)
+
+                    def submit_try():
+                        session = yield from self._ensure_session(ctx)
+                        return (yield self.onserve.agent_stub.submitJob(
+                            session=session, site=site, rsl=rsl, ctx=ctx))
+
+                    job_id = yield from retry_call(
+                        self.sim, policy, submit_try, ctx=ctx,
+                        label=f"submit:{site}",
+                        on_retry=self._recover_session)
+                report.job_id = job_id
+                report.submit += self.sim.now - mark
+
+                # 6. Wait for completion.
+                mark = self.sim.now
+                with span(ctx, "service:polling", job=job_id):
+                    result = yield from self._await_output(
+                        self._session, site, spec, tag, job_id, report, ctx)
+                report.polling += self.sim.now - mark
+                return result
+
+            output = yield from self._run_with_failover(
+                available, attempt_on_site, ctx)
             report.output_bytes = len(output)
             report.ok = True
             try:
@@ -249,15 +294,80 @@ class GridServiceRuntime:
             self.onserve.record_invocation(
                 service_name_for(self.record.name), report)
 
+    def _run_with_failover(self, available: List[str], attempt,
+                           ctx: Optional[RequestContext] = None
+                           ) -> Generator[Event, None, bytes]:
+        """Drive *attempt* over sites until one succeeds (or give up).
+
+        Transient failures (``is_retryable``) trip the failed site's
+        circuit breaker and move on to the next untried site — up to the
+        configured ``failover_sites`` extra attempts, while the context
+        deadline allows.  Permanent failures propagate immediately, as
+        does the last transient failure once sites (or the budget) run
+        out.  Success closes the site's breaker.
+        """
+        breakers = self.onserve.breakers
+        max_sites = 1 + self.onserve.config.failover_sites
+        tried: List[str] = []
+        last_error: Optional[BaseException] = None
+        while True:
+            remaining = [s for s in available if s not in tried]
+            try:
+                site = self._choose_site(remaining)
+            except InvocationError:
+                if last_error is not None:
+                    raise last_error from None
+                raise
+            try:
+                result = yield from attempt(site)
+            except Exception as exc:
+                tried.append(site)
+                if is_retryable(exc):
+                    breakers.failure(site)
+                else:
+                    raise
+                out_of_sites = not [s for s in available if s not in tried]
+                past_deadline = (ctx is not None and ctx.deadline is not None
+                                 and self.sim.now >= ctx.deadline)
+                if len(tried) >= max_sites or out_of_sites or past_deadline:
+                    raise
+                last_error = exc
+                self.onserve.bus.emit(
+                    "core.failover", layer="core",
+                    request_id=ctx.request_id if ctx else None,
+                    service=self.record.name, from_site=site,
+                    error=root_cause_name(exc))
+                continue
+            breakers.success(site)
+            return result
+
+    def _recover_session(self, exc: BaseException, attempt: int) -> None:
+        """Retry hook: a dead credential means re-authenticate, not just
+        repeat — drop the cached session so the next attempt logs on."""
+        if root_cause_name(exc) in ("CredentialExpired",
+                                    "AuthenticationFailed"):
+            self._session = None
+            self._session_expires = 0.0
+
     def _choose_site(self, sites: List[str]) -> str:
         """Apply the configured site-selection policy.
 
         The agent's listing is already MDS-ranked (most free cores
-        first), so "best" is simply the head of the list.
+        first), so "best" is simply the head of the list.  Sites whose
+        circuit breaker is open are skipped; when *every* candidate's
+        circuit is open the invocation fails fast rather than queue up
+        behind a grid that is known to be broken.
         """
         sites = [s for s in sites if s]
         if not sites:
             raise InvocationError("no grid site available")
+        allowed = [s for s in sites
+                   if self.onserve.breakers.allow(s)]
+        if not allowed:
+            raise InvocationError(
+                f"no grid site available (circuit open for "
+                f"{len(sites)} candidate(s))")
+        sites = allowed
         policy = self.onserve.config.site_policy
         if policy == "round_robin":
             # Rotate over a *stable* ordering, not the load-ranked one.
@@ -314,9 +424,11 @@ class GridServiceRuntime:
                 accept=lambda s: s in ("done", "failed", "canceled"),
                 interval=cfg.poll_interval,
                 timeout=cfg.watchdog_timeout)
-            report.polls = polls
+            report.polls += polls
             if state != "done":
-                raise InvocationError(f"grid job {job_id} ended {state}")
+                # A JobError (retryable): a crash-killed job may well
+                # succeed when resubmitted on another site.
+                raise JobError(f"grid job {job_id} ended {state}")
             output = yield stub.fetchOutput(session=session, site=site,
                                             jobId=job_id, ctx=ctx)
             yield host.disk_write(len(output))
@@ -349,13 +461,13 @@ class GridServiceRuntime:
             accept=lambda ready: bool(ready),
             interval=cfg.poll_interval,
             timeout=cfg.watchdog_timeout)
-        report.polls = polls
+        report.polls += polls
         # The last tentative fetch may predate completion; fetch final.
         output = yield stub.fetchOutput(session=session, site=site,
                                         jobId=job_id, ctx=ctx)
         yield host.disk_write(len(output))
         if output and set(output) == {0}:
-            raise InvocationError(
+            raise JobError(
                 f"grid job {job_id} produced no final output "
                 f"(failed on the grid?)")
         return output

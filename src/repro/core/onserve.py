@@ -31,6 +31,8 @@ from repro.db.dbmanager import DbManager
 from repro.errors import OnServeError, ServiceNotFound, UddiError, UploadError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
 from repro.telemetry.events import bus
@@ -60,9 +62,19 @@ class OnServeConfig:
                  double_write: bool = True,
                  upload_cache: bool = False,
                  status_supported: bool = False,
-                 site_policy: str = "best"):
+                 site_policy: str = "best",
+                 retry_max_attempts: int = 3,
+                 retry_base_delay: float = 2.0,
+                 retry_multiplier: float = 2.0,
+                 retry_max_delay: float = 30.0,
+                 retry_jitter: float = 0.0,
+                 breaker_failure_threshold: int = 3,
+                 breaker_reset_timeout: float = 900.0,
+                 failover_sites: int = 2):
         if site_policy not in ("best", "round_robin", "random"):
             raise OnServeError(f"unknown site policy {site_policy!r}")
+        if failover_sites < 0:
+            raise OnServeError("failover_sites must be >= 0")
         self.grid_username = grid_username
         self.grid_passphrase = grid_passphrase
         #: Tentative-poll period (the "relative constant interval").
@@ -89,6 +101,18 @@ class OnServeConfig:
         #: Resource selection: "best" (most free cores, the MDS
         #: ranking), "round_robin", or "random" (seeded).
         self.site_policy = site_policy
+        #: Resilience: retry policy for transient agent/grid/db calls.
+        self.retry_max_attempts = retry_max_attempts
+        self.retry_base_delay = retry_base_delay
+        self.retry_multiplier = retry_multiplier
+        self.retry_max_delay = retry_max_delay
+        self.retry_jitter = retry_jitter
+        #: Resilience: per-site circuit breakers.
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
+        #: Resilience: how many *additional* sites one invocation may
+        #: fail over to after its first choice (0 disables failover).
+        self.failover_sites = failover_sites
 
 
 class OnServe:
@@ -111,6 +135,17 @@ class OnServe:
         self.builder = ServiceBuilder(host, soap_server)
         #: Observability plane: middleware milestones become events.
         self.bus = bus(self.sim)
+        #: Resilience plane: one shared retry policy + per-site breakers.
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay=self.config.retry_base_delay,
+            multiplier=self.config.retry_multiplier,
+            max_delay=self.config.retry_max_delay,
+            jitter=self.config.retry_jitter)
+        self.breakers = BreakerBoard(
+            self.sim,
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout)
         # The wsimport-generated client for the agent: onServe talks to
         # its own agent through the web-service interface (paper §VI,
         # "client" package), over the loopback path.
@@ -195,11 +230,17 @@ class OnServe:
                     f"{service_name!r} (owned by "
                     f"{existing.executable_name!r})")
 
-            # Storage: the executable lands in the database.
+            # Storage: the executable lands in the database.  Transient
+            # engine failures (stalled/aborted commits) are retried under
+            # the shared policy; the first attempt is driven exactly as
+            # the bare call would be.
             with span(ctx, "onserve:store", executable=name):
-                yield self.dbmanager.store_executable(
-                    name, payload, description=description,
-                    params_spec=params_spec)
+                yield from retry_call(
+                    self.sim, self.retry_policy,
+                    lambda: self.dbmanager.store_executable(
+                        name, payload, description=description,
+                        params_spec=params_spec),
+                    ctx=ctx, label=f"db-store:{name}")
 
             if existing is not None:
                 # Replacement upload: same service, new bytes.  Drop any

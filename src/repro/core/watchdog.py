@@ -21,7 +21,7 @@ from typing import Any, Callable, Generator, Optional, Tuple
 from repro.errors import WatchdogTimeout
 from repro.simkernel.events import Event
 from repro.simkernel.kernel import Simulator
-from repro.simkernel.process import Process
+from repro.simkernel.process import Interrupt, Process
 
 __all__ = ["Watchdog", "poll_until"]
 
@@ -41,25 +41,31 @@ class Watchdog:
 
         Returns a process whose value is the victim's value; raises
         :class:`WatchdogTimeout` (after interrupting the victim) if the
-        deadline passes first.
+        deadline passes first.  A victim that dies of a *genuine*
+        exception — before, at, or while handling the deadline — has
+        that exception re-raised to the waiter; only the termination the
+        watchdog itself caused (the :class:`Interrupt`) is absorbed.
         """
 
         def op() -> Generator[Event, None, Any]:
             deadline = self.sim.timeout(self.timeout)
-            outcome = yield self.sim.any_of([victim, deadline])
-            if victim in outcome:
-                return victim.value
+            yield self.sim.any_of([victim, deadline])
+            if victim.triggered:
+                # Finished no later than the deadline's own instant.
+                # Completed work beats a photo-finish timeout — and a
+                # genuine error racing the deadline (any_of defuses it)
+                # is re-raised, never masked as a mere timeout.
+                if victim.ok:
+                    return victim.value
+                raise victim.value
             self.timeouts_fired += 1
-            if victim.is_alive:
-                victim.interrupt("watchdog deadline")
-
-                # Absorb the interrupted victim's termination so its
-                # failure is not re-raised as unhandled.
-                def _absorb(event: Event) -> None:
-                    if not event._ok:
-                        event.defused()
-
-                victim.add_callback(_absorb)
+            victim.interrupt("watchdog deadline")
+            try:
+                # Wait for the victim to actually terminate: its real
+                # errors must reach the waiter, not be swallowed.
+                return (yield victim)
+            except Interrupt:
+                pass  # our own interrupt ran its course
             raise WatchdogTimeout(
                 f"{label or 'operation'} exceeded {self.timeout:.0f}s")
 

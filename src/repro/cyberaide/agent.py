@@ -19,7 +19,8 @@ import itertools
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.core.context import RequestContext, span
-from repro.errors import AuthenticationFailed, GridError
+from repro.errors import AuthenticationFailed, CredentialExpired, GridError
+from repro.faults.injector import get_injector
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
 from repro.security.x509 import Certificate
@@ -241,6 +242,15 @@ class CyberaideAgent:
             del self._sessions[session_id]
             raise AuthenticationFailed(
                 f"agent session {session_id!r} expired (proxy lifetime)")
+        injector = get_injector(self.sim)
+        if (injector is not None
+                and injector.fire("security.credential_expired")):
+            # The delegated proxy is invalidated mid-session; the caller
+            # must re-authenticate (fresh MyProxy logon) to recover.
+            del self._sessions[session_id]
+            raise CredentialExpired(
+                f"agent session {session_id!r}: delegated proxy "
+                f"invalidated mid-session")
         return sess
 
     def _gram(self, site: str):

@@ -16,7 +16,8 @@ from typing import Any, Dict, Generator, List, Optional
 
 from repro.db.engine import Database
 from repro.db.table import Column
-from repro.errors import RecordNotFound
+from repro.errors import RecordNotFound, TransactionError
+from repro.faults.injector import get_injector
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
@@ -129,6 +130,18 @@ class DbManager:
                 + self.costs.statement_cpu,
                 tag="db",
             )
+            injector = get_injector(self.sim)
+            if injector is not None:
+                # A stalled WAL write blocks the commit for a while; a
+                # transaction fault aborts it before any row changes.
+                stall = injector.fire("db.stall")
+                if stall is not None and stall.duration > 0:
+                    yield self.sim.timeout(stall.duration,
+                                           name="fault:db-stall")
+                if injector.fire("db.txn_error"):
+                    raise TransactionError(
+                        f"storing {name!r}: commit aborted "
+                        f"(transient WAL write failure)")
             # Disk: the engine's insert lands in the WAL + heap.
             yield self.host.disk_write(
                 len(compressed) + self.costs.commit_disk_overhead)

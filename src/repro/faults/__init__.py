@@ -1,0 +1,21 @@
+"""The fault plane: deterministic, seeded failure injection.
+
+Production grids fail constantly — the paper's tentative-polling
+watchdog (§VIII.B) only exists because of it.  This package lets
+scenarios break the simulated stack *on purpose*, reproducibly:
+declarative :class:`FaultSpec` objects name a failure mode, a target and
+a schedule (rate, instant or window); the per-simulator
+:class:`FaultInjector` interprets them at hooks wired into GridFTP,
+GRAM, the compute plant, the security session and the database.
+
+With no specs configured the plane is inert by construction — see
+:func:`get_injector` — so importing it cannot perturb golden runs.
+"""
+
+from repro.faults.injector import FaultInjector, fault_plane, get_injector
+from repro.faults.spec import FAULT_KINDS, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS", "FaultSpec",
+    "FaultInjector", "fault_plane", "get_injector",
+]

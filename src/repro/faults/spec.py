@@ -1,0 +1,107 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names one failure mode to inject: *what* breaks
+(``kind``), *where* (``target`` — a site name, or ``"*"`` for
+everywhere), and *when* — either probabilistically (``rate`` per
+opportunity, drawn from a named RNG stream) or on a schedule (``at`` a
+sim-time instant for one-shot faults such as a node crash, or a
+``window`` during which a site is down).  ``max_fires`` caps how often a
+probabilistic spec triggers, which is how "fail the first attempt, then
+recover" cases are written deterministically.
+
+The spec is pure data; the :class:`~repro.faults.injector.FaultInjector`
+interprets it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec"]
+
+#: Every failure mode the injector knows how to arm, by layer:
+#: GridFTP data channels, the GRAM gatekeeper, the compute plant,
+#: the security session, and the embedded database.
+FAULT_KINDS = frozenset({
+    "gridftp.abort",        # mid-transfer TransferError
+    "gridftp.degrade",      # transfer stalls for `duration` seconds
+    "gram.refuse",          # SubmissionRefused at the gatekeeper
+    "gram.lost_job",        # accepted, then dropped by the LRM
+    "site.outage",          # site-wide down window (needs `window`)
+    "node.crash",           # kill one node at `at` (needs `at`)
+    "security.credential_expired",  # session proxy invalidated
+    "db.stall",             # transient write stall for `duration`
+    "db.txn_error",         # TransactionError on commit
+})
+
+
+class FaultSpec:
+    """One declarative fault to inject (see module docstring)."""
+
+    __slots__ = ("kind", "target", "rate", "at", "window", "duration",
+                 "node", "max_fires", "fires")
+
+    def __init__(self, kind: str, target: str = "*", rate: float = 1.0,
+                 at: Optional[float] = None,
+                 window: Optional[Tuple[float, float]] = None,
+                 duration: float = 0.0,
+                 node: Optional[str] = None,
+                 max_fires: Optional[int] = None):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} "
+                             f"(have {sorted(FAULT_KINDS)})")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate!r}")
+        if window is not None:
+            start, end = window
+            if end <= start:
+                raise ValueError(f"fault window must run forward, "
+                                 f"got {window!r}")
+        if kind == "site.outage" and window is None:
+            raise ValueError("site.outage needs a (start, end) window")
+        if kind == "node.crash" and at is None:
+            raise ValueError("node.crash needs an `at` instant")
+        if duration < 0:
+            raise ValueError("fault duration must be >= 0")
+        if max_fires is not None and max_fires < 1:
+            raise ValueError("max_fires must be >= 1")
+        self.kind = kind
+        self.target = target
+        self.rate = rate
+        self.at = at
+        self.window = window
+        self.duration = duration
+        self.node = node
+        self.max_fires = max_fires
+        #: How often this spec has actually triggered.
+        self.fires = 0
+
+    # -- predicates ---------------------------------------------------------
+
+    def matches(self, target: str) -> bool:
+        """Does this spec apply to *target* (a site name or ``""``)?"""
+        return self.target == "*" or self.target == target
+
+    def active_at(self, now: float) -> bool:
+        """Is *now* inside this spec's window (always True without one)?"""
+        if self.window is None:
+            return True
+        start, end = self.window
+        return start <= now < end
+
+    @property
+    def exhausted(self) -> bool:
+        """Has this spec hit its ``max_fires`` cap?"""
+        return self.max_fires is not None and self.fires >= self.max_fires
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        bits = [self.kind, f"target={self.target!r}"]
+        if self.rate != 1.0:
+            bits.append(f"rate={self.rate:g}")
+        if self.at is not None:
+            bits.append(f"at={self.at:g}")
+        if self.window is not None:
+            bits.append(f"window={self.window!r}")
+        if self.max_fires is not None:
+            bits.append(f"max_fires={self.max_fires}")
+        return f"<FaultSpec {' '.join(bits)}>"

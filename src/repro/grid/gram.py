@@ -18,6 +18,7 @@ from typing import Dict, Generator, Optional, Sequence
 
 from repro.core.context import RequestContext, span
 from repro.errors import SubmissionRefused
+from repro.faults.injector import get_injector
 from repro.grid.job import JobState
 from repro.grid.rsl import parse_rsl
 from repro.grid.site import GridSite
@@ -65,9 +66,16 @@ class GramGatekeeper:
 
         def op() -> Generator[Event, None, str]:
             rid = ctx.request_id if ctx is not None else None
+            injector = get_injector(self.sim)
             self._inflight.adjust(+1)
             try:
                 with span(ctx, "gram:submit", site=self.site.name):
+                    if (injector is not None
+                            and injector.down(self.site.name)):
+                        self.refusals += 1
+                        raise SubmissionRefused(
+                            f"{self.site.name}: gatekeeper unreachable "
+                            f"(site outage)")
                     handshake = GsiAcceptor.handshake_bytes(chain)
                     yield client.send(
                         self.host,
@@ -76,6 +84,11 @@ class GramGatekeeper:
                     try:
                         gsi = self.site.acceptor.accept(chain, self.sim.now)
                         description = parse_rsl(rsl_text)
+                        if (injector is not None and
+                                injector.fire("gram.refuse", self.site.name)):
+                            raise SubmissionRefused(
+                                f"{self.site.name}: gatekeeper refused the "
+                                f"submission (transient LRM rejection)")
                     except Exception as exc:
                         self.refusals += 1
                         self._bus.emit("gram.refused", layer="grid",
@@ -85,6 +98,16 @@ class GramGatekeeper:
                         raise
                     yield self.host.compute(self.REQUEST_CPU, tag="gram")
                     job = self.site.create_job(description, owner=gsi.subject)
+                    if (injector is not None and
+                            injector.fire("gram.lost_job", self.site.name)):
+                        # The classic lost job: the gatekeeper hands out a
+                        # perfectly good handle, but the LRM never hears of
+                        # it — later polls find nothing (JobNotFound).
+                        self.site.drop_job(job.job_id)
+                        self.submissions += 1
+                        yield self.host.send(client, 512,
+                                             label="gram-handle")
+                        return job.job_id
                     done = self.site.run_job(job)
                     self._completions[job.job_id] = done
                     self.submissions += 1
@@ -135,7 +158,12 @@ class GramGatekeeper:
         """
 
         def op() -> Generator[Event, None, bytes]:
+            injector = get_injector(self.sim)
             with span(ctx, "gram:fetch-output", job=job_id):
+                if injector is not None and injector.down(self.site.name):
+                    raise SubmissionRefused(
+                        f"{self.site.name}: gatekeeper unreachable "
+                        f"(site outage)")
                 yield client.send(self.host, self.POLL_BYTES,
                                   label="gram-output")
                 data = self.site.partial_output(job_id)

@@ -12,6 +12,7 @@ from typing import Generator, Optional, Sequence
 
 from repro.core.context import RequestContext, span
 from repro.errors import TransferError
+from repro.faults.injector import get_injector
 from repro.grid.site import GridSite
 from repro.hardware.host import Host
 from repro.security.gsi import GsiAcceptor
@@ -64,13 +65,32 @@ class GridFtpServer:
 
         def op() -> Generator[Event, None, int]:
             started = self.sim.now
+            injector = get_injector(self.sim)
             with span(ctx, "gridftp:put", site=self.site.name,
                       bytes=len(data)):
+                if injector is not None and injector.down(self.site.name):
+                    raise TransferError(
+                        f"{self.site.name}: GridFTP unreachable "
+                        f"(site outage)")
                 handshake = GsiAcceptor.handshake_bytes(chain)
                 yield client.send(self.host,
                                   handshake + streams * self.CONTROL_BYTES,
                                   label="gridftp-ctl")
                 self._authenticate(chain)
+                if injector is not None:
+                    # A degraded link stalls the data channel before any
+                    # byte moves; an abort dies mid-transfer, after half
+                    # the payload already crossed the wire.
+                    stall = injector.fire("gridftp.degrade", self.site.name)
+                    if stall is not None and stall.duration > 0:
+                        yield self.sim.timeout(stall.duration,
+                                               name="fault:gridftp-degrade")
+                    if injector.fire("gridftp.abort", self.site.name):
+                        yield client.send(self.host, len(data) // 2,
+                                          label=f"gridftp-put:{path}#aborted")
+                        raise TransferError(
+                            f"{self.site.name}: data channel aborted "
+                            f"mid-transfer ({path!r})")
                 self._streams.adjust(+streams)
                 try:
                     if streams == 1:
@@ -105,7 +125,12 @@ class GridFtpServer:
         """Download *path* from the site storage area."""
         def op() -> Generator[Event, None, bytes]:
             started = self.sim.now
+            injector = get_injector(self.sim)
             with span(ctx, "gridftp:get", site=self.site.name):
+                if injector is not None and injector.down(self.site.name):
+                    raise TransferError(
+                        f"{self.site.name}: GridFTP unreachable "
+                        f"(site outage)")
                 handshake = GsiAcceptor.handshake_bytes(chain)
                 yield client.send(self.host, handshake + self.CONTROL_BYTES,
                                   label="gridftp-ctl")

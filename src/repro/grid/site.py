@@ -181,6 +181,15 @@ class GridSite:
         done.add_callback(_on_done)
         return finished
 
+    def drop_job(self, job_id: str) -> None:
+        """Forget a job record entirely (the lost-job fault).
+
+        The handle stays with the caller, but every later lookup raises
+        :class:`~repro.errors.JobNotFound` — modelling an LRM that
+        accepted a submission and then lost it.
+        """
+        self._jobs.pop(job_id, None)
+
     def cancel_job(self, job_id: str) -> None:
         job = self.get_job(job_id)
         if job.is_terminal:

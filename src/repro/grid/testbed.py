@@ -18,7 +18,10 @@ which contains 11 supercomputing centers across U.S." (§VIII.A).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 from repro.grid.gram import GramGatekeeper
 from repro.grid.gridftp import GridFtpServer
@@ -72,6 +75,17 @@ class Testbed:
 
     def ftp(self, site_name: str) -> GridFtpServer:
         return self.ftp_servers[site_name]
+
+    def install_faults(self, specs) -> "FaultInjector":
+        """Configure and arm fault injection for this testbed's run.
+
+        Convenience over the fault plane: attaches the simulator's
+        injector, adds *specs* (an iterable of
+        :class:`~repro.faults.spec.FaultSpec`), and installs scheduled
+        faults (node crashes) as timers.  Returns the injector.
+        """
+        from repro.faults.injector import fault_plane
+        return fault_plane(self.sim).configure(specs).install(self)
 
     def new_grid_identity(self, username: str, passphrase: str,
                           lifetime: float = 30 * 24 * 3600.0,

@@ -1,0 +1,22 @@
+"""Resilience policies: retry/backoff, circuit breakers, failover glue.
+
+The counterpart of :mod:`repro.faults`: where the fault plane breaks
+the stack on purpose, this package is how the middleware recovers —
+:func:`retry_call` under a :class:`RetryPolicy` for transient call
+failures, a per-site :class:`CircuitBreaker` board for repeat
+offenders, and the transient-vs-permanent classification from
+:mod:`repro.errors` deciding what is worth retrying at all.  Site
+failover itself lives in
+:class:`~repro.core.grid_service.GridServiceRuntime`, built on these
+pieces.
+"""
+
+from repro.resilience.breaker import (
+    BreakerBoard, CircuitBreaker, CLOSED, HALF_OPEN, OPEN,
+)
+from repro.resilience.retry import RetryPolicy, retry_call
+
+__all__ = [
+    "RetryPolicy", "retry_call",
+    "CircuitBreaker", "BreakerBoard", "CLOSED", "OPEN", "HALF_OPEN",
+]

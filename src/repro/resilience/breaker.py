@@ -1,0 +1,139 @@
+"""Per-site circuit breakers.
+
+The DIRAC-style site-banning idea in its classic three-state form: a
+breaker starts *closed* (traffic flows, consecutive failures counted),
+*opens* after ``failure_threshold`` consecutive failures (the site is
+skipped entirely), and after ``reset_timeout`` simulated seconds lets
+one probe through (*half-open*) — success closes it, another failure
+re-opens it for a full timeout.
+
+Pure bookkeeping: breakers never create simulation events; state is
+driven entirely by the ``allow``/``record_*`` calls of the failover
+logic.  Transitions emit ``breaker.transition`` telemetry events and
+keep a ``breaker.<name>.state`` gauge (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
+
+__all__ = ["CircuitBreaker", "BreakerBoard",
+           "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of the states.
+_STATE_LEVEL = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure gate for one target."""
+
+    __slots__ = ("sim", "name", "failure_threshold", "reset_timeout",
+                 "state", "failures", "opened_until", "transitions",
+                 "_bus", "_gauge")
+
+    def __init__(self, sim: "Simulator", name: str,
+                 failure_threshold: int = 3,
+                 reset_timeout: float = 900.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = CLOSED
+        #: Consecutive failures while closed.
+        self.failures = 0
+        #: Sim time at which an open breaker admits a half-open probe.
+        self.opened_until = 0.0
+        #: (ts, from, to) transition history.
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._bus = bus(sim)
+        #: Created on first transition: a breaker that never trips
+        #: leaves no trace in the gauge board.
+        self._gauge = None
+
+    def allow(self) -> bool:
+        """May a request go to this target right now?
+
+        An open breaker whose reset timeout elapsed moves to half-open
+        and admits exactly the probe that asked.
+        """
+        if self.state == OPEN and self.sim.now >= self.opened_until:
+            self._transition(HALF_OPEN)
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.failures >= self.failure_threshold):
+            self.opened_until = self.sim.now + self.reset_timeout
+            self._transition(OPEN)
+
+    def _transition(self, to: str) -> None:
+        frm, self.state = self.state, to
+        if to == CLOSED:
+            self.failures = 0
+        self.transitions.append((self.sim.now, frm, to))
+        if self._gauge is None:
+            self._gauge = gauges(self.sim).gauge(
+                f"breaker.{self.name}.state", unit="level")
+        self._gauge.set(_STATE_LEVEL[to])
+        self._bus.emit("breaker.transition", layer="resilience",
+                       breaker=self.name, frm=frm, to=to,
+                       failures=self.failures)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<CircuitBreaker {self.name!r} {self.state} "
+                f"failures={self.failures}>")
+
+
+class BreakerBoard:
+    """One breaker per grid site, created on first use."""
+
+    def __init__(self, sim: "Simulator", failure_threshold: int = 3,
+                 reset_timeout: float = 900.0):
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        cell = self._breakers.get(key)
+        if cell is None:
+            cell = self._breakers[key] = CircuitBreaker(
+                self.sim, key, failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout)
+        return cell
+
+    def allow(self, key: str) -> bool:
+        return self.breaker(key).allow()
+
+    def failure(self, key: str) -> None:
+        self.breaker(key).record_failure()
+
+    def success(self, key: str) -> None:
+        self.breaker(key).record_success()
+
+    def states(self) -> Dict[str, str]:
+        return {key: brk.state for key, brk in sorted(self._breakers.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<BreakerBoard {self.states()}>"

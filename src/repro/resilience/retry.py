@@ -1,0 +1,121 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+:func:`retry_call` is the one retry loop the middleware uses: it drives
+an *attempt factory* (returning a fresh process/event or generator per
+attempt), classifies failures through
+:func:`~repro.errors.is_retryable`, and sleeps an exponentially growing,
+budget-capped backoff between attempts.  Jitter draws from a named RNG
+stream, so identical seeds retry at identical instants.
+
+Determinism contract: the first attempt is driven exactly as the
+un-wrapped call would be (``yield`` the event / ``yield from`` the
+generator — no extra process, no extra simulation events), so wrapping
+a call site in :func:`retry_call` cannot perturb a fault-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
+
+from repro.core.context import RequestContext
+from repro.errors import is_retryable, root_cause_name
+from repro.simkernel.events import Event
+from repro.telemetry.events import bus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+class RetryPolicy:
+    """How often and how patiently to retry a transient failure."""
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier", "max_delay",
+                 "jitter", "budget")
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 2.0,
+                 multiplier: float = 2.0, max_delay: float = 30.0,
+                 jitter: float = 0.0, budget: Optional[float] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        #: Fractional jitter: the delay is scaled by 1 ± jitter.
+        self.jitter = jitter
+        #: Total seconds of backoff sleep allowed across all attempts.
+        self.budget = budget
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """The sleep before retry number *attempt* (1-based failures)."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<RetryPolicy attempts={self.max_attempts} "
+                f"base={self.base_delay:g}s x{self.multiplier:g} "
+                f"cap={self.max_delay:g}s>")
+
+
+def retry_call(sim: "Simulator", policy: RetryPolicy,
+               attempt_factory: Callable[[], Any],
+               ctx: Optional[RequestContext] = None,
+               label: str = "",
+               classify: Callable[[BaseException], bool] = is_retryable,
+               on_retry: Optional[Callable[[BaseException, int], None]] = None
+               ) -> Generator[Event, None, Any]:
+    """Drive *attempt_factory* under *policy* (delegate with ``yield from``).
+
+    Each attempt the factory returns either an :class:`Event`/process to
+    wait on or a generator to delegate to.  Failures that *classify*
+    marks transient are retried after the policy's backoff — unless the
+    attempt budget, the sleep budget, or the context deadline would be
+    exceeded, in which case the last failure propagates unchanged.
+    ``on_retry(exc, attempt)`` runs before each backoff sleep (session
+    recovery hooks live there).  Every retry emits a ``retry.attempt``
+    telemetry event.
+    """
+    attempt = 0
+    slept = 0.0
+    rng = None
+    while True:
+        attempt += 1
+        try:
+            trial = attempt_factory()
+            if isinstance(trial, Event):
+                return (yield trial)
+            return (yield from trial)
+        except Exception as exc:
+            if attempt >= policy.max_attempts or not classify(exc):
+                raise
+            if rng is None and policy.jitter:
+                rng = sim.rng.stream(f"retry:{label or 'anonymous'}")
+            delay = policy.backoff(attempt, rng)
+            if policy.budget is not None and slept + delay > policy.budget:
+                raise
+            if (ctx is not None and ctx.deadline is not None
+                    and sim.now + delay > ctx.deadline):
+                raise
+            bus(sim).emit("retry.attempt", layer="resilience",
+                          request_id=ctx.request_id if ctx else None,
+                          label=label, attempt=attempt,
+                          delay=round(delay, 6),
+                          error=root_cause_name(exc))
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            slept += delay
+            if delay > 0:
+                yield sim.timeout(delay, name=f"retry:{label}")

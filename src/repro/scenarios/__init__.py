@@ -15,10 +15,13 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.smallfiles` — §VIII.B many-small-files claim
 * :mod:`~repro.scenarios.bottleneck` — §VIII.D per-layer latency
   attribution of one traced execution
+* :mod:`~repro.scenarios.faults` — fault-injection matrix: every
+  failure mode × its recovery invariant
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
 from repro.scenarios.common import ScenarioEnv, standard_env
+from repro.scenarios.faults import FaultsResult, run_faults
 from repro.scenarios.fig6 import Fig6Result, run_fig6
 from repro.scenarios.fig7 import Fig7Result, run_fig7
 from repro.scenarios.fig8 import Fig8Result, run_fig8
@@ -35,4 +38,5 @@ __all__ = [
     "OverheadResult", "run_overhead",
     "SmallFilesResult", "run_smallfiles",
     "BottleneckResult", "run_bottleneck",
+    "FaultsResult", "run_faults",
 ]

@@ -5,8 +5,9 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, all.  ``--smoke`` shrinks the workloads that support it
-(currently ``bottleneck``) for fast CI validation.
+bottleneck, faults, all.  ``--smoke`` shrinks the workloads that
+support it (currently ``bottleneck`` and ``faults``) for fast CI
+validation.
 """
 
 from __future__ import annotations
@@ -16,8 +17,8 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_bottleneck, run_fig6, run_fig7, run_fig8, run_overhead,
-    run_scalability, run_smallfiles,
+    run_bottleneck, run_faults, run_fig6, run_fig7, run_fig8,
+    run_overhead, run_scalability, run_smallfiles,
 )
 from repro.units import MB
 
@@ -60,6 +61,16 @@ def _bottleneck() -> str:
     return run_bottleneck(smoke=_SMOKE).render()
 
 
+def _faults() -> str:
+    result = run_faults(smoke=_SMOKE)
+    if not result.ok:
+        # CI runs this experiment as its robustness gate: a broken
+        # invariant must fail the job, not just print a FAIL row.
+        print(result.render())
+        raise SystemExit(1)
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -68,6 +79,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "overhead": _overhead,
     "smallfiles": _smallfiles,
     "bottleneck": _bottleneck,
+    "faults": _faults,
 }
 
 

@@ -184,11 +184,20 @@ class FaultTranslationInterceptor(Interceptor):
             if self.on_fault is not None:
                 self.on_fault(inv)
             code = "Server" if isinstance(exc, ReproError) else "Server.Internal"
-            return SoapEnvelope.fault_response(SoapFault(
+            # The detail carries the root cause's type *and* message —
+            # "TypeName: message" — so the client side can classify the
+            # fault (SoapFault.root_cause / .retryable) without the
+            # original object; the exception itself is chained on for
+            # in-process callers and debuggability.
+            message = str(exc)
+            fault = SoapFault(
                 faultcode=code,
-                faultstring=str(exc) or type(exc).__name__,
-                detail=type(exc).__name__,
-            ))
+                faultstring=message or type(exc).__name__,
+                detail=(f"{type(exc).__name__}: {message}" if message
+                        else type(exc).__name__),
+            )
+            fault.__cause__ = exc
+            return SoapEnvelope.fault_response(fault)
 
 
 class MetricsInterceptor(Interceptor):

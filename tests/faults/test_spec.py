@@ -1,0 +1,68 @@
+"""FaultSpec: validation and the matching/window/cap predicates."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultSpec
+
+
+def test_defaults():
+    spec = FaultSpec("gram.refuse")
+    assert spec.target == "*"
+    assert spec.rate == 1.0
+    assert spec.max_fires is None
+    assert spec.fires == 0
+    assert not spec.exhausted
+
+
+def test_every_declared_kind_constructs():
+    for kind in sorted(FAULT_KINDS):
+        kwargs = {}
+        if kind == "site.outage":
+            kwargs["window"] = (0.0, 10.0)
+        if kind == "node.crash":
+            kwargs["at"] = 5.0
+        assert FaultSpec(kind, **kwargs).kind == kind
+
+
+@pytest.mark.parametrize("bad", [
+    dict(kind="gremlins"),
+    dict(kind="gram.refuse", rate=-0.1),
+    dict(kind="gram.refuse", rate=1.5),
+    dict(kind="gram.refuse", window=(10.0, 10.0)),
+    dict(kind="gram.refuse", window=(10.0, 5.0)),
+    dict(kind="site.outage"),                      # needs a window
+    dict(kind="node.crash"),                       # needs an instant
+    dict(kind="db.stall", duration=-1.0),
+    dict(kind="gram.refuse", max_fires=0),
+])
+def test_validation(bad):
+    with pytest.raises(ValueError):
+        FaultSpec(**bad)
+
+
+def test_matching():
+    wildcard = FaultSpec("gram.refuse")
+    assert wildcard.matches("ncsa") and wildcard.matches("")
+    pinned = FaultSpec("gram.refuse", target="ncsa")
+    assert pinned.matches("ncsa")
+    assert not pinned.matches("sdsc")
+
+
+def test_window_is_half_open():
+    spec = FaultSpec("site.outage", window=(10.0, 20.0))
+    assert not spec.active_at(9.999)
+    assert spec.active_at(10.0)       # start inclusive
+    assert spec.active_at(19.999)
+    assert not spec.active_at(20.0)   # end exclusive
+
+
+def test_windowless_spec_is_always_active():
+    assert FaultSpec("gram.refuse").active_at(0.0)
+    assert FaultSpec("gram.refuse").active_at(1e12)
+
+
+def test_max_fires_exhaustion():
+    spec = FaultSpec("gram.refuse", max_fires=2)
+    assert not spec.exhausted
+    spec.fires = 2
+    assert spec.exhausted

@@ -1,0 +1,103 @@
+"""CircuitBreaker + BreakerBoard: the three-state machine."""
+
+import pytest
+
+from repro.resilience import (
+    BreakerBoard, CircuitBreaker, CLOSED, HALF_OPEN, OPEN,
+)
+from repro.simkernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
+
+
+def make_breaker(threshold=3, reset=100.0):
+    sim = Simulator()
+    return sim, CircuitBreaker(sim, "ncsa", failure_threshold=threshold,
+                               reset_timeout=reset)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, "x", failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, "x", reset_timeout=0.0)
+
+
+def test_opens_after_consecutive_failures():
+    sim, brk = make_breaker(threshold=3)
+    brk.record_failure()
+    brk.record_failure()
+    assert brk.state == CLOSED and brk.allow()
+    brk.record_failure()
+    assert brk.state == OPEN
+    assert not brk.allow()
+
+
+def test_success_resets_the_failure_count():
+    sim, brk = make_breaker(threshold=2)
+    brk.record_failure()
+    brk.record_success()
+    brk.record_failure()
+    assert brk.state == CLOSED    # never two *consecutive* failures
+
+
+def test_half_open_probe_after_reset_timeout():
+    sim, brk = make_breaker(threshold=1, reset=100.0)
+    brk.record_failure()
+    assert not brk.allow()
+    sim.run(until=99.0)
+    assert not brk.allow()                 # still cooling down
+    sim.run(until=100.0)
+    assert brk.allow()                     # the probe is admitted
+    assert brk.state == HALF_OPEN
+    brk.record_success()
+    assert brk.state == CLOSED
+
+
+def test_half_open_failure_reopens_for_a_full_timeout():
+    sim, brk = make_breaker(threshold=1, reset=50.0)
+    brk.record_failure()
+    sim.run(until=50.0)
+    assert brk.allow() and brk.state == HALF_OPEN
+    brk.record_failure()                   # the probe died too
+    assert brk.state == OPEN
+    assert brk.opened_until == 100.0
+
+
+def test_transitions_are_recorded_and_emitted():
+    sim, brk = make_breaker(threshold=1, reset=10.0)
+    brk.record_failure()
+    sim.run(until=10.0)
+    brk.allow()
+    brk.record_success()
+    assert [(frm, to) for _, frm, to in brk.transitions] == [
+        (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+    kinds = [(e.get("frm"), e.get("to"))
+             for e in bus(sim).events(kind="breaker.transition")]
+    assert kinds == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                     (HALF_OPEN, CLOSED)]
+
+
+def test_gauge_is_created_lazily_on_first_transition():
+    sim, brk = make_breaker(threshold=2)
+    brk.allow()
+    brk.record_failure()
+    brk.record_success()
+    assert "breaker.ncsa.state" not in gauges(sim).names()
+    brk.record_failure()
+    brk.record_failure()                   # trips: gauge appears at 2.0
+    assert "breaker.ncsa.state" in gauges(sim).names()
+    assert gauges(sim).gauge("breaker.ncsa.state").current == 2.0
+
+
+def test_board_tracks_one_breaker_per_site():
+    sim = Simulator()
+    board = BreakerBoard(sim, failure_threshold=1, reset_timeout=60.0)
+    assert board.allow("ncsa") and board.allow("sdsc")
+    board.failure("ncsa")
+    assert not board.allow("ncsa")
+    assert board.allow("sdsc")             # unrelated site unaffected
+    board.success("sdsc")
+    assert board.states() == {"ncsa": OPEN, "sdsc": CLOSED}
+    assert board.breaker("ncsa") is board.breaker("ncsa")

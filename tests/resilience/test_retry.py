@@ -1,0 +1,180 @@
+"""RetryPolicy + retry_call: backoff math, classification, determinism."""
+
+import pytest
+
+from repro.core.context import RequestContext
+from repro.errors import InvocationError, TransferError
+from repro.resilience import RetryPolicy, retry_call
+from repro.simkernel import Simulator
+from repro.telemetry.events import bus
+
+
+# ---------------------------------------------------------------- policy
+
+@pytest.mark.parametrize("bad", [
+    dict(max_attempts=0),
+    dict(base_delay=-1.0),
+    dict(multiplier=0.5),
+    dict(jitter=-0.1),
+    dict(jitter=1.0),
+    dict(budget=-1.0),
+])
+def test_policy_validation(bad):
+    with pytest.raises(ValueError):
+        RetryPolicy(**bad)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=2.0, multiplier=3.0, max_delay=10.0)
+    assert policy.backoff(1) == 2.0
+    assert policy.backoff(2) == 6.0
+    assert policy.backoff(3) == 10.0   # 18 capped
+    assert policy.backoff(9) == 10.0
+
+
+def test_backoff_jitter_bounds_and_determinism():
+    policy = RetryPolicy(base_delay=4.0, jitter=0.5)
+
+    def delays(seed):
+        rng = Simulator(seed=seed).rng.stream("retry:test")
+        return [policy.backoff(1, rng) for _ in range(16)]
+
+    first = delays(0)
+    assert delays(0) == first                      # same seed, same jitter
+    assert all(2.0 <= d <= 6.0 for d in first)     # 4 * (1 +/- 0.5)
+    assert len(set(first)) > 1                     # actually jittered
+
+
+# ---------------------------------------------------------------- retry_call
+
+def drive(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_first_attempt_is_free_of_extra_events():
+    """Wrapping a healthy call must not perturb the simulation at all."""
+
+    def run(wrapped):
+        sim = Simulator()
+
+        def call():
+            return (yield sim.timeout(5.0, value=42))
+
+        def op():
+            if wrapped:
+                return (yield from retry_call(sim, RetryPolicy(), call))
+            return (yield from call())
+
+        assert drive(sim, op()) == 42
+        return sim.events_processed, sim.now
+
+    assert run(wrapped=False) == run(wrapped=True)
+
+
+def test_event_factory_is_supported():
+    sim = Simulator()
+    result = drive(sim, retry_call(sim, RetryPolicy(),
+                                   lambda: sim.timeout(1.0, value=7)))
+    assert result == 7 and sim.now == 1.0
+
+
+def test_transient_failure_retried_after_backoff():
+    sim = Simulator()
+    calls = {"n": 0}
+
+    def call():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise TransferError("flaky channel")
+        return (yield sim.timeout(1.0, value="ok"))
+
+    policy = RetryPolicy(base_delay=2.0)
+    result = drive(sim, retry_call(sim, policy, call, label="xfer"))
+    assert result == "ok"
+    assert calls["n"] == 2
+    assert sim.now == 3.0                      # 2 s backoff + 1 s call
+    (event,) = bus(sim).events(kind="retry.attempt")
+    assert event.get("label") == "xfer"
+    assert event.get("error") == "TransferError"
+    assert event.get("delay") == 2.0
+
+
+def test_permanent_failure_raises_immediately():
+    sim = Simulator()
+    calls = {"n": 0}
+
+    def call():
+        calls["n"] += 1
+        raise InvocationError("broken by construction")
+        yield  # pragma: no cover - makes this a generator
+
+    with pytest.raises(InvocationError):
+        drive(sim, retry_call(sim, RetryPolicy(), call))
+    assert calls["n"] == 1
+    assert not bus(sim).events(kind="retry.attempt")
+
+
+def test_attempts_exhaust_and_last_error_propagates():
+    sim = Simulator()
+    calls = {"n": 0}
+
+    def call():
+        calls["n"] += 1
+        raise TransferError(f"attempt {calls['n']}")
+        yield  # pragma: no cover
+
+    policy = RetryPolicy(max_attempts=3, base_delay=1.0, multiplier=2.0)
+    with pytest.raises(TransferError, match="attempt 3"):
+        drive(sim, retry_call(sim, policy, call))
+    assert calls["n"] == 3
+    assert sim.now == 3.0                       # slept 1 + 2
+    assert len(bus(sim).events(kind="retry.attempt")) == 2
+
+
+def test_sleep_budget_stops_retrying():
+    sim = Simulator()
+
+    def call():
+        raise TransferError("flaky")
+        yield  # pragma: no cover
+
+    policy = RetryPolicy(max_attempts=10, base_delay=1.0, budget=0.5)
+    with pytest.raises(TransferError):
+        drive(sim, retry_call(sim, policy, call))
+    assert sim.now == 0.0                       # gave up before sleeping
+
+
+def test_context_deadline_stops_retrying():
+    sim = Simulator()
+    ctx = RequestContext.create(sim, deadline=2.5)
+    calls = {"n": 0}
+
+    def call():
+        calls["n"] += 1
+        raise TransferError("flaky")
+        yield  # pragma: no cover
+
+    policy = RetryPolicy(max_attempts=10, base_delay=2.0)
+    with pytest.raises(TransferError):
+        drive(sim, retry_call(sim, policy, call, ctx=ctx))
+    # one backoff (2 s) fits before the 2.5 s deadline; the second not
+    assert calls["n"] == 2
+    assert sim.now == 2.0
+
+
+def test_on_retry_hook_sees_failure_and_attempt():
+    sim = Simulator()
+    seen = []
+    calls = {"n": 0}
+
+    def call():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise TransferError("flaky")
+        return (yield sim.timeout(0.5, value="ok"))
+
+    policy = RetryPolicy(max_attempts=5, base_delay=1.0)
+    drive(sim, retry_call(sim, policy, call,
+                          on_retry=lambda exc, n: seen.append(
+                              (type(exc).__name__, n))))
+    assert seen == [("TransferError", 1), ("TransferError", 2)]

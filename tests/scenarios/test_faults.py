@@ -1,0 +1,97 @@
+"""The fault-matrix scenario: invariants, determinism, golden immunity."""
+
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+import repro.scenarios.common as common
+from repro.faults import FAULT_KINDS
+from repro.faults.injector import fault_plane
+from repro.scenarios import run_faults, run_fig6
+from repro.scenarios.faults import FAULT_CASES, SMOKE_CASES
+from repro.telemetry.report import to_csv
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def test_smoke_matrix_invariants_hold():
+    result = run_faults(smoke=True)
+    assert result.ok, result.render()
+    assert len(result.outcomes) == len(SMOKE_CASES)
+    for outcome in result.outcomes:
+        assert outcome.deterministic
+        assert outcome.drained and not outcome.orphans
+        assert outcome.injected >= 1
+
+
+def test_smoke_subset_is_a_subset_of_the_matrix():
+    names = {case.name for case in FAULT_CASES}
+    assert set(SMOKE_CASES) <= names
+    assert len(names) == len(FAULT_CASES)  # no duplicate case names
+
+
+def test_matrix_covers_every_fault_kind():
+    probe = SimpleNamespace(sim=SimpleNamespace(now=0.0))
+    covered = {spec.kind
+               for case in FAULT_CASES
+               for spec in case.specs(probe)}
+    assert covered == FAULT_KINDS
+
+
+def test_failover_case_re_stages_on_a_second_site():
+    result = run_faults(cases=("site-outage-failover",))
+    outcome = result.outcome("site-outage-failover")
+    assert result.ok, result.render()
+    assert outcome.recovered
+    assert outcome.counts.get("core.failover", 0) >= 1
+    assert outcome.counts.get("retry.attempt", 0) >= 1
+
+
+def test_typed_failure_case_reports_root_cause():
+    result = run_faults(cases=("gram-refuse-permanent",))
+    outcome = result.outcome("gram-refuse-permanent")
+    assert result.ok, result.render()
+    assert not outcome.recovered
+    assert outcome.root_cause == "SubmissionRefused"
+    assert outcome.verdict == "failed:SubmissionRefused"
+
+
+def test_matrix_holds_under_a_different_seed():
+    result = run_faults(cases=("gram-refuse-retry",), seed=7)
+    assert result.ok, result.render()
+
+
+def test_render_shape():
+    result = run_faults(cases=("gridftp-abort-recovers",))
+    text = result.render()
+    assert "Fault matrix" in text
+    assert "gridftp-abort-recovers" in text
+    assert "PASS" in text
+    assert "1/1 invariants hold" in text
+
+
+def test_unknown_case_name_raises():
+    with pytest.raises(KeyError):
+        run_faults(cases=("no-such-case",))
+
+
+def test_fig6_golden_immune_to_attached_but_disabled_fault_plane(
+        monkeypatch):
+    """The determinism contract of the whole PR, end to end.
+
+    With the fault plane *attached* to the scenario's simulator but no
+    specs configured, the Figure 6 series must stay byte-identical to
+    the committed golden: a disabled injector may not cost one event,
+    one RNG draw, or one telemetry emission.
+    """
+
+    class FaultAwareSimulator(common.Simulator):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            fault_plane(self)
+
+    monkeypatch.setattr(common, "Simulator", FaultAwareSimulator)
+    result = run_fig6(seed=0)
+    golden = (GOLDEN_DIR / "fig6.csv").read_text()
+    assert to_csv(result.series) + "\n" == golden

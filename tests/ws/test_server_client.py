@@ -81,7 +81,9 @@ def test_handler_exception_becomes_fault():
                              broken)
     with pytest.raises(SoapFault, match="on fire") as exc_info:
         sim.run(until=client.call(endpoint, "go"))
-    assert exc_info.value.detail == "JobError"
+    assert exc_info.value.detail == "JobError: the grid is on fire"
+    assert exc_info.value.root_cause == "JobError"
+    assert exc_info.value.retryable  # JobError is transient
     assert server.service("B").faults == 1
 
 

@@ -39,7 +39,8 @@ def test_plain_python_exception_becomes_internal_fault():
     with pytest.raises(SoapFault, match="not a repro error") as exc_info:
         sim.run(until=client.call(endpoint, "go"))
     assert exc_info.value.faultcode == "Server.Internal"
-    assert exc_info.value.detail == "ValueError"
+    assert exc_info.value.detail == "ValueError: not a repro error"
+    assert exc_info.value.root_cause == "ValueError"
 
 
 def test_generator_handler_exception_becomes_fault():
@@ -52,7 +53,8 @@ def test_generator_handler_exception_becomes_fault():
     endpoint = deploy(server, broken)
     with pytest.raises(SoapFault) as exc_info:
         sim.run(until=client.call(endpoint, "go"))
-    assert exc_info.value.detail == "KeyError"
+    assert exc_info.value.detail == "KeyError: 'deep inside'"
+    assert exc_info.value.root_cause == "KeyError"
 
 
 def test_repro_errors_keep_server_faultcode():
