@@ -1,0 +1,22 @@
+"""Invocation hot-path throughput: caches + coalescing off vs on.
+
+Runs the :mod:`repro.scenarios.throughput` concurrency sweep and saves
+the paper-shaped report — the measured numbers behind the EXPERIMENTS.md
+THROUGHPUT entry.  The headline claim is asserted here too: at 8
+concurrent clients, cached mode cuts the mean per-invocation simulated
+latency by at least 20%.
+"""
+
+from repro.scenarios.throughput import run_throughput
+
+
+def test_throughput_ablation(benchmark, save_report):
+    def run():
+        return run_throughput(levels=(1, 2, 4, 8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("throughput", result.render())
+    assert result.reduction_at(8) >= 0.20
+    # Coalescing collapses staging to one GridFTP transfer per level.
+    for row in result.rows:
+        assert row["cached_transfers"] == 1.0

@@ -182,10 +182,16 @@ class GridServiceRuntime:
         try:
             # 1. File retrieval: DB load + temp copy on local disk.  The
             #    decompressed payload sits in RAM until staged to the grid.
+            #    Under coalescing, concurrent invocations share one DB
+            #    fetch (the leader's) instead of N decompressions.
             mark = self.sim.now
             with span(ctx, "service:retrieval", executable=self.record.name):
-                exe = yield self.onserve.dbmanager.load_executable(
-                    self.record.name)
+                def db_fetch():
+                    return (yield self.onserve.dbmanager.load_executable(
+                        self.record.name))
+
+                exe = yield from self.onserve.flights.do(
+                    ("db-load", self.record.name), db_fetch, group="db-load")
                 host.allocate_memory(exe.size)
                 held_bytes = exe.size
                 # "stored in a temporary location"
@@ -218,32 +224,51 @@ class GridServiceRuntime:
                 policy = self.onserve.retry_policy
 
                 # 3. Upload the executable to the site (re-uploaded every
-                #    time unless the upload-cache ablation is on).
+                #    time unless the upload-cache ablation is on).  Under
+                #    coalescing, concurrent invocations staging the same
+                #    (site, path, bytes) share one GridFTP transfer.
                 mark = self.sim.now
                 with span(ctx, "service:upload", site=site):
                     staged = spec.staged_path()
-                    if not (cfg.upload_cache and
-                            self.onserve.is_staged(site, staged,
-                                                   exe.payload)):
+                    staged_hit = (cfg.upload_cache and
+                                  self.onserve.is_staged(site, staged,
+                                                         exe.payload))
+                    if cfg.upload_cache:
+                        self.onserve.bus.emit(
+                            "cache.hit" if staged_hit else "cache.miss",
+                            layer="core", cache="staged",
+                            request_id=ctx.request_id if ctx else None,
+                            key=f"{site}:{staged}")
+                    if not staged_hit:
                         if held_bytes == 0:
                             # Failover re-stage: the payload comes back
                             # into RAM for the second GridFTP trip.
                             host.allocate_memory(exe.size)
                             held_bytes = exe.size
 
-                        def upload_try():
-                            session = yield from self._ensure_session(ctx)
-                            return (yield self.onserve.agent_stub
-                                    .uploadExecutable(
-                                        session=session, site=site,
-                                        path=staged, data=exe.payload,
-                                        ctx=ctx))
+                        def stage():
+                            def upload_try():
+                                session = yield from self._ensure_session(
+                                    ctx)
+                                return (yield self.onserve.agent_stub
+                                        .uploadExecutable(
+                                            session=session, site=site,
+                                            path=staged, data=exe.payload,
+                                            ctx=ctx))
 
-                        yield from retry_call(
-                            self.sim, policy, upload_try, ctx=ctx,
-                            label=f"upload:{site}",
-                            on_retry=self._recover_session)
-                        self.onserve.mark_staged(site, staged, exe.payload)
+                            yield from retry_call(
+                                self.sim, policy, upload_try, ctx=ctx,
+                                label=f"upload:{site}",
+                                on_retry=self._recover_session)
+                            self.onserve.mark_staged(site, staged,
+                                                     exe.payload)
+
+                        flights = self.onserve.flights
+                        digest = (self.onserve._digest(exe.payload)
+                                  if flights.enabled else "")
+                        yield from flights.do(
+                            ("stage", site, staged, digest), stage,
+                            group="staging")
                     # The buffer is staged (or cached); collect it now.
                     host.release_memory(held_bytes)
                     held_bytes = 0
@@ -346,6 +371,8 @@ class GridServiceRuntime:
         repeat — drop the cached session so the next attempt logs on."""
         if root_cause_name(exc) in ("CredentialExpired",
                                     "AuthenticationFailed"):
+            if self.onserve.config.coalesce:
+                self.onserve.drop_agent_session(self._session)
             self._session = None
             self._session_expires = 0.0
 
@@ -383,6 +410,13 @@ class GridServiceRuntime:
     def _ensure_session(self, ctx: Optional[RequestContext] = None
                         ) -> Generator[Event, None, str]:
         cfg = self.onserve.config
+        if cfg.coalesce:
+            # Appliance-wide session, logons single-flighted across
+            # every runtime (one MyProxy logon for N services).
+            session = yield from self.onserve.ensure_agent_session(ctx)
+            self._session = session
+            self._session_expires = self.onserve._agent_session_expires
+            return session
         while True:
             if (self._session is not None
                     and self.sim.now < self._session_expires):

@@ -35,12 +35,18 @@ def discover_service(stack: "OnServeStack", client: WsClient,
     """UDDI inquiry from the client's host (over real SOAP).
 
     The process-event's value is ``(service_name, endpoint,
-    wsdl_location)`` of the best (first) match.
+    wsdl_location)`` of the best (first) match.  A warm
+    :class:`~repro.ws.cache.ClientCache` on the client answers without
+    touching the network at all.
     """
     inquiry_endpoint = stack.soap_server.endpoint_for(
         UddiInquiryService.SERVICE_NAME)
 
     def op() -> Generator[Event, None, Tuple[str, str, str]]:
+        if client.cache is not None:
+            cached = client.cache.lookup_discovery(name_pattern)
+            if cached is not None:
+                return cached
         with span(ctx, "uddi:discover", pattern=name_pattern):
             listing = yield client.call(inquiry_endpoint, "findService",
                                         ctx=ctx, pattern=name_pattern)
@@ -55,8 +61,11 @@ def discover_service(stack: "OnServeStack", client: WsClient,
             if not bindings:
                 raise ServiceNotFound(
                     f"UDDI service {service['name']!r} has no binding")
-        return (service["name"], bindings[0]["access_point"],
-                bindings[0]["wsdl_location"])
+        triple = (service["name"], bindings[0]["access_point"],
+                  bindings[0]["wsdl_location"])
+        if client.cache is not None:
+            client.cache.store_discovery(name_pattern, triple)
+        return triple
 
     return client.sim.process(op(), name=f"discover:{name_pattern}")
 
@@ -78,8 +87,15 @@ def discover_and_invoke(stack: "OnServeStack", client: WsClient,
     def op() -> Generator[Event, None, str]:
         _name, endpoint, _wsdl_loc = yield discover_service(
             stack, client, name_pattern, ctx=ctx)
-        document = yield client.fetch_wsdl(endpoint, ctx=ctx)
-        stub = generate_stub(document)(client)
+        cache = client.cache
+        document = cache.lookup_wsdl(endpoint) if cache is not None else None
+        if document is None:
+            document = yield client.fetch_wsdl(endpoint, ctx=ctx)
+            if cache is not None:
+                cache.store_wsdl(endpoint, document)
+        stub_class = (cache.stub_class(document) if cache is not None
+                      else generate_stub(document))
+        stub = stub_class(client)
         result = yield stub.execute(ctx=ctx, **params)
         return result
 

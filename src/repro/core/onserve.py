@@ -20,6 +20,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.appliance.deploy import DeployedAppliance, deploy_image
 from repro.appliance.image import ImageBuilder, ONSERVE_PACKAGES
+from repro.core.coalesce import SingleFlight
 from repro.core.context import RequestContext, span
 from repro.core.datastructures import (
     ExecutableRecord, GeneratedService, parse_params_spec, service_name_for,
@@ -27,6 +28,7 @@ from repro.core.datastructures import (
 from repro.core.grid_service import GridServiceRuntime
 from repro.core.service_builder import ServiceBuilder
 from repro.cyberaide.agent import AgentConfig, CyberaideAgent
+from repro.cyberaide.jobspec import staged_path_for
 from repro.db.dbmanager import DbManager
 from repro.errors import OnServeError, ServiceNotFound, UddiError, UploadError
 from repro.grid.testbed import Testbed
@@ -70,7 +72,8 @@ class OnServeConfig:
                  retry_jitter: float = 0.0,
                  breaker_failure_threshold: int = 3,
                  breaker_reset_timeout: float = 900.0,
-                 failover_sites: int = 2):
+                 failover_sites: int = 2,
+                 coalesce: bool = False):
         if site_policy not in ("best", "round_robin", "random"):
             raise OnServeError(f"unknown site policy {site_policy!r}")
         if failover_sites < 0:
@@ -113,6 +116,11 @@ class OnServeConfig:
         #: Resilience: how many *additional* sites one invocation may
         #: fail over to after its first choice (0 disables failover).
         self.failover_sites = failover_sites
+        #: Hot-path optimisation: single-flight coalescing of concurrent
+        #: invocations' shared work — agent logon, DB executable fetch,
+        #: GridFTP staging per (site, path).  Off by default: the
+        #: faithful timeline (and every golden figure) runs without it.
+        self.coalesce = coalesce
 
 
 class OnServe:
@@ -164,6 +172,17 @@ class OnServe:
         # a service (previously a direct SoapServer.undeploy left stale
         # bindingTemplates behind).
         soap_server.on_undeploy(self._on_soap_undeploy)
+        #: Listeners told when a replacement upload republishes a
+        #: service in place (client caches hang invalidation off this).
+        self._republish_listeners: List = []
+        #: Single-flight coalescing of concurrent invocations' shared
+        #: work (enabled by ``config.coalesce``; a no-op pass-through
+        #: otherwise, so the default timeline is untouched).
+        self.flights = SingleFlight(self.sim, enabled=self.config.coalesce)
+        #: Appliance-wide agent session shared across runtimes when
+        #: coalescing is on (one MyProxy logon for N services).
+        self._agent_session: Optional[str] = None
+        self._agent_session_expires = 0.0
         self._staged: Dict[tuple, str] = {}
         # Durable invocation history (queried by the management API).
         from repro.db.table import Column
@@ -242,20 +261,19 @@ class OnServe:
                         params_spec=params_spec),
                     ctx=ctx, label=f"db-store:{name}")
 
-            if existing is not None:
-                # Replacement upload: same service, new bytes.  Drop any
-                # staged copies so the next invocation ships the update.
-                path_suffix = f"/{name}"
-                self._staged = {key: digest
-                                for key, digest in self._staged.items()
-                                if not key[1].endswith(path_suffix)}
-                return existing
-
-            # Service build + publication.
             record = ExecutableRecord(name, description, params,
                                       size=len(payload),
                                       uploaded_by=uploaded_by,
                                       uploaded_at=self.sim.now)
+
+            if existing is not None:
+                # Replacement upload: same service, new bytes.  The DB
+                # row is already refreshed above; propagate the new
+                # record to every in-memory surface too.
+                self._refresh_replaced(existing, record)
+                return existing
+
+            # Service build + publication.
             service = yield from self._build_and_publish(record, ctx=ctx)
             return service
 
@@ -297,6 +315,85 @@ class OnServe:
                       service=service_name, executable=record.name,
                       archive_bytes=len(archive))
         return service
+
+    def _refresh_replaced(self, existing: GeneratedService,
+                          record: ExecutableRecord) -> None:
+        """Propagate a replacement upload beyond the database row.
+
+        Pure bookkeeping (no simulated cost): the runtime's in-memory
+        :class:`ExecutableRecord`, the container's deployed interface
+        and the UDDI service description all refresh in place —
+        previously only the DB row changed, so later invocations
+        validated against the stale parameter spec and ``usage_report``
+        showed the old size/description.  Staged grid copies of the old
+        bytes are evicted by their *exact* staging path (suffix matching
+        could evict another executable whose name path-suffixes this
+        one), and republish listeners — client caches — drop the
+        service.
+        """
+        service_name = existing.service_name
+        runtime = self.runtimes.get(service_name)
+        if runtime is not None:
+            runtime.record = record
+        self.soap_server.update_description(
+            service_name, self.builder.description_for(record))
+        try:
+            self.uddi.get_service(existing.uddi_service_key).description = \
+                record.description
+        except UddiError:
+            pass  # unpublished out-of-band; nothing to refresh
+        staged = staged_path_for(record.name)
+        self._staged = {key: digest
+                        for key, digest in self._staged.items()
+                        if key[1] != staged}
+        self.bus.emit("core.service_republished", layer="core",
+                      service=service_name, executable=record.name,
+                      size=record.size)
+        for listener in list(self._republish_listeners):
+            listener(service_name)
+
+    def on_republish(self, listener) -> None:
+        """Register *listener(service_name)* to run after a replacement
+        upload republishes a service in place (cache invalidation)."""
+        self._republish_listeners.append(listener)
+
+    # -- shared agent session (single-flight across runtimes) -----------------
+
+    def ensure_agent_session(self, ctx: Optional[RequestContext] = None
+                             ) -> Generator[Event, None, str]:
+        """One appliance-wide agent session, logons coalesced.
+
+        A generator meant to be delegated to (``yield from``) inside a
+        simulation process.  While a cached session is fresh it is
+        returned without any simulated work; otherwise exactly one
+        MyProxy logon runs per expiry, no matter how many invocations
+        (of however many services) race for it.
+        """
+        cfg = self.config
+        if (self._agent_session is not None
+                and self.sim.now < self._agent_session_expires):
+            self.bus.emit("cache.hit", layer="core", cache="session",
+                          key=cfg.grid_username)
+            return self._agent_session
+
+        def logon() -> Generator[Event, None, str]:
+            self.bus.emit("cache.miss", layer="core", cache="session",
+                          key=cfg.grid_username)
+            session = yield self.agent_stub.authenticate(
+                username=cfg.grid_username,
+                passphrase=cfg.grid_passphrase, ctx=ctx)
+            self._agent_session = session
+            self._agent_session_expires = self.sim.now + cfg.session_renewal
+            return session
+
+        return (yield from self.flights.do(
+            ("agent-auth", cfg.grid_username), logon, group="auth"))
+
+    def drop_agent_session(self, session: Optional[str]) -> None:
+        """Forget the shared session (dead credential recovery hook)."""
+        if session is None or self._agent_session == session:
+            self._agent_session = None
+            self._agent_session_expires = 0.0
 
     def restore_services(self) -> Process:
         """Regenerate every service from the executables table.
@@ -431,6 +528,28 @@ class OnServeStack:
         if not hasattr(self, "_portal"):
             self._portal = CyberaidePortal(self.onserve)
         return self._portal
+
+    def enable_client_caches(self, ttl: Optional[float] = None,
+                             enabled: bool = True) -> List:
+        """Attach a discovery/WSDL/stub cache to every user client.
+
+        Each cache is wired into the container's undeploy hook and
+        onServe's republish hook, so an undeployed or replaced service
+        is dropped from every client immediately — the invalidation
+        contract of DESIGN.md §9.  Returns the caches (one per client).
+        ``enabled=False`` attaches inert caches, which the golden-series
+        guard uses to prove attachment alone cannot perturb a run.
+        """
+        from repro.ws.cache import ClientCache
+        caches = []
+        for client in self.user_clients:
+            kwargs = {} if ttl is None else {"ttl": ttl}
+            cache = ClientCache(self.sim, enabled=enabled, **kwargs)
+            client.cache = cache
+            self.soap_server.on_undeploy(cache.invalidate_service)
+            self.onserve.on_republish(cache.invalidate_service)
+            caches.append(cache)
+        return caches
 
     @property
     def appliance_host(self) -> Host:

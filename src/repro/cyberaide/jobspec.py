@@ -7,10 +7,22 @@ from typing import Sequence
 from repro.errors import RslError
 from repro.grid.rsl import JobDescription, generate_rsl
 
-__all__ = ["CyberaideJobSpec"]
+__all__ = ["CyberaideJobSpec", "staged_path_for"]
 
 #: Where staged executables live on a site's storage area.
 SCRATCH_PREFIX = "/scratch/cyberaide"
+
+
+def staged_path_for(executable_name: str) -> str:
+    """The exact staging path an executable name maps to.
+
+    The single definition both the runtime (staging an upload) and the
+    replacement-upload eviction (dropping staged copies) derive paths
+    from — suffix matching on paths is unsound because one executable
+    name can be a path-suffix of another (e.g. ``cyberaide/echo.sh``
+    vs. ``echo.sh``).
+    """
+    return f"{SCRATCH_PREFIX}/{executable_name}"
 
 
 class CyberaideJobSpec:
@@ -38,7 +50,7 @@ class CyberaideJobSpec:
         self.project = project
 
     def staged_path(self) -> str:
-        return f"{SCRATCH_PREFIX}/{self.executable_name}"
+        return staged_path_for(self.executable_name)
 
     def stdout_path(self, job_tag: str) -> str:
         return f"{SCRATCH_PREFIX}/{self.executable_name}.{job_tag}.out"

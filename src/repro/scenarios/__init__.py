@@ -17,6 +17,8 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
   attribution of one traced execution
 * :mod:`~repro.scenarios.faults` — fault-injection matrix: every
   failure mode × its recovery invariant
+* :mod:`~repro.scenarios.throughput` — invocation hot-path ablation:
+  caches + single-flight coalescing off vs on under concurrency
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
@@ -28,6 +30,7 @@ from repro.scenarios.fig8 import Fig8Result, run_fig8
 from repro.scenarios.overhead import OverheadResult, run_overhead
 from repro.scenarios.scalability import ScalabilityResult, run_scalability
 from repro.scenarios.smallfiles import SmallFilesResult, run_smallfiles
+from repro.scenarios.throughput import ThroughputResult, run_throughput
 
 __all__ = [
     "ScenarioEnv", "standard_env",
@@ -39,4 +42,5 @@ __all__ = [
     "SmallFilesResult", "run_smallfiles",
     "BottleneckResult", "run_bottleneck",
     "FaultsResult", "run_faults",
+    "ThroughputResult", "run_throughput",
 ]

@@ -5,9 +5,9 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, faults, all.  ``--smoke`` shrinks the workloads that
-support it (currently ``bottleneck`` and ``faults``) for fast CI
-validation.
+bottleneck, faults, throughput, all.  ``--smoke`` shrinks the
+workloads that support it (currently ``bottleneck``, ``faults`` and
+``throughput``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ from typing import Callable, Dict
 
 from repro.scenarios import (
     run_bottleneck, run_faults, run_fig6, run_fig7, run_fig8,
-    run_overhead, run_scalability, run_smallfiles,
+    run_overhead, run_scalability, run_smallfiles, run_throughput,
 )
 from repro.units import MB
 
@@ -71,6 +71,10 @@ def _faults() -> str:
     return result.render()
 
 
+def _throughput() -> str:
+    return run_throughput(smoke=_SMOKE).render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -80,6 +84,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "smallfiles": _smallfiles,
     "bottleneck": _bottleneck,
     "faults": _faults,
+    "throughput": _throughput,
 }
 
 

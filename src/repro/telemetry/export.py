@@ -19,6 +19,7 @@ perturb a run any more than recording could.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.context import RequestContext
@@ -38,6 +39,18 @@ def _sanitize(name: str) -> str:
     if text and text[0].isdigit():
         text = "_" + text
     return text
+
+
+def _escape_label(value: Any) -> str:
+    """Prometheus label-value escaping (exposition format).
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping; anything else passes through.  Without
+    this, a service or operation name containing any of them renders
+    unparseable exposition text.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _fmt(value: float) -> str:
@@ -69,7 +82,8 @@ def prometheus_text(metrics: Optional[MetricsRegistry] = None,
         lines.append(f"# HELP {hist} SOAP request latency by operation.")
         lines.append(f"# TYPE {hist} histogram")
         for m in metrics.all():
-            labels = f'service="{m.service}",operation="{m.operation}"'
+            labels = (f'service="{_escape_label(m.service)}",'
+                      f'operation="{_escape_label(m.operation)}"')
             h = m.latency
             cumulative = 0
             for bound, count in zip(h.bounds, h.counts):
@@ -83,7 +97,8 @@ def prometheus_text(metrics: Optional[MetricsRegistry] = None,
         lines.append(f"# HELP {faults} SOAP faults by operation.")
         lines.append(f"# TYPE {faults} counter")
         for m in metrics.all():
-            labels = f'service="{m.service}",operation="{m.operation}"'
+            labels = (f'service="{_escape_label(m.service)}",'
+                      f'operation="{_escape_label(m.operation)}"')
             lines.append(f"{faults}{{{labels}}} {m.faults}")
 
     if board is not None:
@@ -100,9 +115,62 @@ def prometheus_text(metrics: Optional[MetricsRegistry] = None,
         lines.append(f"# HELP {events} Telemetry events by kind.")
         lines.append(f"# TYPE {events} counter")
         for kind in sorted(bus.counts()):
-            lines.append(f'{events}{{kind="{kind}"}} {bus.counts()[kind]}')
+            lines.append(f'{events}{{kind="{_escape_label(kind)}"}} '
+                         f"{bus.counts()[kind]}")
 
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _scan_labels(body: str, lineno: int, line: str) -> None:
+    """Validate a ``{...}`` label body per the exposition format.
+
+    Label values must be double-quoted with ``\\``, ``\"`` and ``\\n``
+    as the only legal escapes; an unescaped quote or backslash inside a
+    value, a bad escape, or a missing closing quote all raise.  This is
+    the teeth behind :func:`_escape_label` — text rendered without
+    escaping no longer slips through the parser.
+    """
+
+    def fail(why: str) -> ValueError:
+        return ValueError(f"line {lineno}: {why}: {line!r}")
+
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_NAME.match(body, pos)
+        if match is None:
+            raise fail("bad label name")
+        pos = match.end()
+        if pos >= len(body) or body[pos] != "=":
+            raise fail("label missing '='")
+        pos += 1
+        if pos >= len(body) or body[pos] != '"':
+            raise fail("label value not quoted")
+        pos += 1
+        closed = False
+        while pos < len(body):
+            ch = body[pos]
+            if ch == "\\":
+                if pos + 1 >= len(body) or body[pos + 1] not in ('\\', '"', "n"):
+                    raise fail("bad escape in label value")
+                pos += 2
+                continue
+            if ch == '"':
+                closed = True
+                pos += 1
+                break
+            pos += 1
+        if not closed:
+            raise fail("unterminated label value")
+        if pos < len(body):
+            if body[pos] != ",":
+                raise fail("unescaped quote in label value")
+            pos += 1
+            if pos >= len(body):
+                raise fail("trailing comma in labels")
 
 
 def parse_prometheus_text(text: str) -> Dict[str, float]:
@@ -110,7 +178,8 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
 
     A deliberately strict reader used by tests and the CI smoke step:
     it raises ``ValueError`` on any line that is neither a comment nor
-    a well-formed sample, so "does the exporter output parse?" is a
+    a well-formed sample — including label values with unescaped
+    quotes or backslashes — so "does the exporter output parse?" is a
     one-call check.
     """
     samples: Dict[str, float] = {}
@@ -121,10 +190,14 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
         if len(parts) != 2:
             raise ValueError(f"line {lineno}: not a sample: {line!r}")
         name, value = parts
-        if not name or " " in name.split("{")[0]:
+        match = _METRIC_NAME.match(name)
+        if match is None:
             raise ValueError(f"line {lineno}: bad sample name: {line!r}")
-        if "{" in name and not name.endswith("}"):
-            raise ValueError(f"line {lineno}: unbalanced labels: {line!r}")
+        rest = name[match.end():]
+        if rest:
+            if not (rest.startswith("{") and rest.endswith("}")):
+                raise ValueError(f"line {lineno}: unbalanced labels: {line!r}")
+            _scan_labels(rest[1:-1], lineno, line)
         try:
             samples[name] = float("inf") if value == "+Inf" else float(value)
         except ValueError:

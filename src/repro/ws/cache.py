@@ -1,0 +1,162 @@
+"""Client-side invocation caches: discovery, WSDL, generated stubs.
+
+The paper's client workflow (§VII.B) re-runs UDDI discovery, re-fetches
+the WSDL document, and re-runs ``wsimport`` on *every* call — exactly
+the repeated one-time work JClarens' cached service discovery and
+TAAROA's bind-once/execute-many split eliminate.  A :class:`ClientCache`
+attached to a :class:`~repro.ws.client.WsClient` memoises all three:
+
+* **discovery** — UDDI pattern -> ``(service_name, endpoint,
+  wsdl_location)``, so a warm call skips both inquiry round-trips;
+* **wsdl** — endpoint -> document bytes, skipping the document transfer
+  over the (thin) appliance uplink;
+* **stub** — WSDL digest -> generated class, skipping re-parsing and
+  class synthesis (zero simulated cost, real CPU).
+
+Freshness is bounded by a *sim-time* TTL (never wall clock, so cached
+runs stay deterministic), and entries are dropped eagerly through the
+container's undeploy hook and onServe's republish hook — the
+invalidation contract DESIGN.md §9 spells out.  Every lookup emits a
+``cache.hit`` / ``cache.miss`` event on the telemetry bus; emission is
+observationally pure, so an attached-but-disabled cache cannot perturb
+a run (the golden-series guard pins this byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.telemetry.events import bus
+
+__all__ = ["ClientCache"]
+
+#: Discovery triple: (service_name, endpoint, wsdl_location).
+Discovery = Tuple[str, str, str]
+
+#: Default freshness bound (simulated seconds).
+DEFAULT_TTL = 3600.0
+
+
+class ClientCache:
+    """Per-client TTL cache over the discover -> WSDL -> stub pipeline."""
+
+    def __init__(self, sim, ttl: float = DEFAULT_TTL, enabled: bool = True):
+        if ttl <= 0:
+            raise ValueError("cache ttl must be > 0 (simulated seconds)")
+        self.sim = sim
+        self.ttl = ttl
+        self.enabled = enabled
+        self._discovery: Dict[str, Tuple[float, Discovery]] = {}
+        self._wsdl: Dict[str, Tuple[float, bytes]] = {}
+        self._stubs: Dict[str, Type] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._bus = bus(sim)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record(self, cache: str, key: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._bus.emit("cache.hit" if hit else "cache.miss", layer="ws",
+                       cache=cache, key=key)
+
+    def _fresh(self, stored_at: float) -> bool:
+        return self.sim.now - stored_at < self.ttl
+
+    # -- discovery ----------------------------------------------------------
+
+    def lookup_discovery(self, pattern: str) -> Optional[Discovery]:
+        if not self.enabled:
+            return None
+        entry = self._discovery.get(pattern)
+        if entry is not None and self._fresh(entry[0]):
+            self._record("discovery", pattern, hit=True)
+            return entry[1]
+        if entry is not None:  # expired: drop it now
+            del self._discovery[pattern]
+        self._record("discovery", pattern, hit=False)
+        return None
+
+    def store_discovery(self, pattern: str, triple: Discovery) -> None:
+        if self.enabled:
+            self._discovery[pattern] = (self.sim.now, triple)
+
+    # -- WSDL documents -----------------------------------------------------
+
+    def lookup_wsdl(self, endpoint: str) -> Optional[bytes]:
+        if not self.enabled:
+            return None
+        entry = self._wsdl.get(endpoint)
+        if entry is not None and self._fresh(entry[0]):
+            self._record("wsdl", endpoint, hit=True)
+            return entry[1]
+        if entry is not None:
+            del self._wsdl[endpoint]
+        self._record("wsdl", endpoint, hit=False)
+        return None
+
+    def store_wsdl(self, endpoint: str, document: bytes) -> None:
+        if self.enabled:
+            self._wsdl[endpoint] = (self.sim.now, document)
+
+    # -- generated stubs ----------------------------------------------------
+
+    def stub_class(self, document: bytes) -> Type:
+        """The wsimport product for *document*, memoised by digest.
+
+        Stub classes are pure derivations of the WSDL bytes, so the
+        digest key makes staleness impossible: a republished service
+        with a changed interface has different bytes, hence a new stub.
+        """
+        from repro.ws.client import generate_stub
+
+        if not self.enabled:
+            return generate_stub(document)
+        digest = hashlib.sha256(document).hexdigest()
+        cached = self._stubs.get(digest)
+        if cached is not None:
+            self._record("stub", digest[:12], hit=True)
+            return cached
+        self._record("stub", digest[:12], hit=False)
+        stub = generate_stub(document)
+        self._stubs[digest] = stub
+        return stub
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate_service(self, service_name: str) -> None:
+        """Drop everything cached about *service_name*.
+
+        Wired to :meth:`repro.ws.server.SoapServer.on_undeploy` and
+        :meth:`repro.core.onserve.OnServe.on_republish`, so neither an
+        undeployed nor a replaced service can be served stale.
+        """
+        suffix = f"/{service_name}"
+        stale_patterns = [p for p, (_, triple) in self._discovery.items()
+                          if triple[0] == service_name]
+        stale_endpoints = [e for e in self._wsdl if e.endswith(suffix)]
+        for pattern in stale_patterns:
+            del self._discovery[pattern]
+        for endpoint in stale_endpoints:
+            del self._wsdl[endpoint]
+        if stale_patterns or stale_endpoints:
+            self.invalidations += 1
+            self._bus.emit("cache.invalidate", layer="ws",
+                           service=service_name,
+                           discovery=len(stale_patterns),
+                           wsdl=len(stale_endpoints))
+
+    def clear(self) -> None:
+        self._discovery.clear()
+        self._wsdl.clear()
+        self._stubs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "on" if self.enabled else "off"
+        return (f"<ClientCache {state} hits={self.hits} "
+                f"misses={self.misses} ttl={self.ttl}>")

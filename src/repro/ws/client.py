@@ -32,10 +32,13 @@ __all__ = ["WsClient", "generate_stub"]
 class WsClient:
     """A caller bound to a client host and an endpoint fabric."""
 
-    def __init__(self, host: Host, fabric: SoapFabric):
+    def __init__(self, host: Host, fabric: SoapFabric, cache=None):
         self.host = host
         self.sim = host.sim
         self.fabric = fabric
+        #: Optional :class:`~repro.ws.cache.ClientCache` memoising
+        #: discovery / WSDL / stub work (None = the faithful hot path).
+        self.cache = cache
         self.calls_made = 0
         #: Per-operation metrics as seen from this caller (includes
         #: network time, unlike the server's registry).

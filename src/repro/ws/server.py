@@ -169,6 +169,23 @@ class SoapServer:
         for listener in list(self._undeploy_listeners):
             listener(service_name)
 
+    def update_description(self, service_name: str,
+                           description: ServiceDescription) -> None:
+        """Swap a deployed service's interface in place (hot redeploy).
+
+        The replacement-upload path uses this when a re-uploaded
+        executable declares a new description or parameter spec: the
+        handler, endpoint and usage counters survive, but dispatch
+        validation and the generated WSDL reflect the new interface
+        immediately.
+        """
+        svc = self.service(service_name)
+        if description.name != service_name:
+            raise WsError(
+                f"cannot redeploy {service_name!r} under the name "
+                f"{description.name!r}")
+        svc.description = description
+
     def on_undeploy(self, listener: Callable[[str], None]) -> None:
         """Register *listener(service_name)* to run after each undeploy.
 

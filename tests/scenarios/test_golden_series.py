@@ -32,3 +32,32 @@ def test_figure_series_match_committed_goldens(name):
     assert actual == golden, (
         f"{name} series drifted from {golden_path} — determinism broke "
         f"(or the scenario changed; regenerate the golden deliberately)")
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_inert_cache_layer(name, monkeypatch):
+    """Attached-but-disabled client caches must not perturb a run.
+
+    The cache layer's determinism contract: disabled caches store and
+    serve nothing, and the coalescing plane (always attached, enabled
+    only by ``config.coalesce``) creates zero events on the default
+    path.  Re-running each figure with inert caches on every client
+    must therefore reproduce the committed goldens byte-for-byte.
+    """
+    import repro.scenarios.common as common
+
+    real_deploy = common.deploy_onserve
+
+    def caching_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+        proc.add_callback(
+            lambda ev: ev._value.enable_client_caches(enabled=False)
+            if ev._ok else None)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", caching_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with inert client caches attached — the "
+        f"disabled cache layer perturbed the simulation")

@@ -68,6 +68,44 @@ def test_parse_rejects_malformed_lines():
             parse_prometheus_text(bad)
 
 
+def test_label_values_with_special_characters_round_trip():
+    reg = MetricsRegistry("test")
+    nasty = 'Back\\slash "quoted"\nnewline'
+    reg.record(nasty, "exe\\cute", 0.5)
+    sim = Simulator(seed=0)
+    b = bus(sim)
+    b.emit('kind "with" quotes')
+    text = prometheus_text(metrics=reg, bus=b)
+    # Escaped on render: one sample per line, strictly parseable.
+    samples = parse_prometheus_text(text)
+    esc = 'Back\\\\slash \\"quoted\\"\\nnewline'
+    key = (f'repro_request_latency_seconds_count'
+           f'{{service="{esc}",operation="exe\\\\cute"}}')
+    assert samples[key] == 1
+    assert samples['repro_events_total{kind="kind \\"with\\" quotes"}'] == 1
+
+
+def test_parse_rejects_unescaped_label_values():
+    for bad in (
+        'm{k="a"b"} 1',          # unescaped quote inside the value
+        'm{k="a\\x"} 1',         # unknown escape
+        'm{k="open} 1',          # unterminated value
+        'm{k=bare} 1',           # unquoted value
+        'm{k="a",} 1',           # trailing comma
+        'm{"k"="a"} 1',          # quoted label name
+        'm{k="a";j="b"} 1',      # bad separator
+    ):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+
+def test_parse_accepts_escaped_and_multi_label_lines():
+    ok = ('m{k="a\\\\b",j="c\\"d",l="e\\nf"} 2\n'
+          'm2{le="+Inf"} 4\n')
+    samples = parse_prometheus_text(ok)
+    assert samples['m2{le="+Inf"}'] == 4
+
+
 def _traced_context():
     sim = Simulator(seed=0)
     ctx = RequestContext.create(sim, principal="user")

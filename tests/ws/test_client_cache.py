@@ -1,0 +1,149 @@
+"""Client-side invocation caches: hits, TTL, and the invalidation contract."""
+
+import pytest
+
+from repro.core import OnServeConfig, deploy_onserve, discover_and_invoke
+from repro.core.invocation import discover_service
+from repro.errors import ServiceNotFound, SoapFault
+from repro.grid import build_testbed
+from repro.simkernel.kernel import Simulator
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+from repro.ws.cache import ClientCache
+
+
+# -- unit: the cache itself ------------------------------------------------
+
+
+def test_ttl_must_be_positive():
+    with pytest.raises(ValueError):
+        ClientCache(Simulator(seed=0), ttl=0.0)
+
+
+def test_discovery_entries_expire_by_sim_time():
+    sim = Simulator(seed=0)
+    cache = ClientCache(sim, ttl=10.0)
+    cache.store_discovery("Hello%", ("HelloService", "soap://a/HelloService",
+                                     "soap://a/HelloService?wsdl"))
+    assert cache.lookup_discovery("Hello%") is not None
+    sim.run(until=sim.timeout(10.0))
+    assert cache.lookup_discovery("Hello%") is None  # expired + dropped
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_disabled_cache_stores_and_serves_nothing():
+    sim = Simulator(seed=0)
+    cache = ClientCache(sim, enabled=False)
+    cache.store_discovery("X%", ("X", "soap://a/X", "soap://a/X?wsdl"))
+    cache.store_wsdl("soap://a/X", b"<wsdl/>")
+    assert cache.lookup_discovery("X%") is None
+    assert cache.lookup_wsdl("soap://a/X") is None
+    assert cache.hits == 0 and cache.misses == 0  # not even counted
+
+
+def test_stub_memo_is_keyed_by_document_bytes():
+    sim = Simulator(seed=0)
+    cache = ClientCache(sim)
+    from repro.ws.registryapi import OperationSpec, ServiceDescription
+    from repro.ws.wsdl import generate_wsdl
+    doc_a = generate_wsdl(ServiceDescription("A", [
+        OperationSpec("execute", [], "xsd:string")]), "soap://a/A")
+    assert cache.stub_class(doc_a) is cache.stub_class(doc_a)
+    doc_b = generate_wsdl(ServiceDescription("B", [
+        OperationSpec("execute", [], "xsd:string")]), "soap://a/B")
+    assert cache.stub_class(doc_a) is not cache.stub_class(doc_b)
+
+
+def test_invalidate_drops_only_the_named_service():
+    sim = Simulator(seed=0)
+    cache = ClientCache(sim)
+    cache.store_discovery("A%", ("AService", "soap://h/AService",
+                                 "soap://h/AService?wsdl"))
+    cache.store_discovery("B%", ("BService", "soap://h/BService",
+                                 "soap://h/BService?wsdl"))
+    cache.store_wsdl("soap://h/AService", b"<a/>")
+    cache.store_wsdl("soap://h/BService", b"<b/>")
+    cache.invalidate_service("AService")
+    assert cache.lookup_discovery("A%") is None
+    assert cache.lookup_wsdl("soap://h/AService") is None
+    assert cache.lookup_discovery("B%") is not None
+    assert cache.lookup_wsdl("soap://h/BService") is not None
+    assert cache.invalidations == 1
+
+
+# -- integration: caches on a live stack -----------------------------------
+
+
+def cached_stack():
+    tb = build_testbed(n_sites=2, nodes_per_site=2, cores_per_node=4,
+                       appliance_uplink=Mbps(10))
+    stack = tb.sim.run(until=deploy_onserve(tb))
+    caches = stack.enable_client_caches()
+    payload = make_payload("echo", size=int(KB(2)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "hello.sh", payload, params_spec="name:string"))
+    return tb, stack, caches[0]
+
+
+def test_warm_discovery_skips_the_registry_round_trips():
+    tb, stack, cache = cached_stack()
+    client = stack.user_clients[0]
+    inquiry = stack.soap_server.service("UddiInquiry")
+    tb.sim.run(until=discover_and_invoke(stack, client, "Hello%", name="a"))
+    calls_after_cold = inquiry.invocations
+    t0 = tb.sim.now
+    tb.sim.run(until=discover_service(stack, client, "Hello%"))
+    # A warm discovery touches neither the registry nor the clock.
+    assert inquiry.invocations == calls_after_cold
+    assert tb.sim.now == t0
+    assert cache.hits >= 1
+
+
+def test_warm_invocation_is_faster_and_correct():
+    tb, stack, cache = cached_stack()
+    client = stack.user_clients[0]
+    t0 = tb.sim.now
+    out1 = tb.sim.run(until=discover_and_invoke(stack, client, "Hello%",
+                                                name="cold"))
+    cold = tb.sim.now - t0
+    t0 = tb.sim.now
+    out2 = tb.sim.run(until=discover_and_invoke(stack, client, "Hello%",
+                                                name="warm"))
+    warm = tb.sim.now - t0
+    assert (out1, out2) == ("cold\n", "warm\n")
+    assert warm < cold  # discovery + WSDL round-trips disappeared
+
+
+def test_undeploy_invalidates_no_stale_endpoint_served():
+    tb, stack, cache = cached_stack()
+    client = stack.user_clients[0]
+    tb.sim.run(until=discover_and_invoke(stack, client, "Hello%", name="x"))
+    assert cache.lookup_discovery("Hello%") is not None
+    tb.sim.run(until=stack.onserve.undeploy_service("HelloService"))
+    # The undeploy hook dropped every cached artefact of the service...
+    assert cache.lookup_discovery("Hello%") is None
+    assert cache.lookup_wsdl("soap://appliance/HelloService") is None
+    # ...so the next workflow fails with a clean not-found, instead of
+    # invoking a cached endpoint that no longer exists.
+    with pytest.raises((ServiceNotFound, SoapFault)):
+        tb.sim.run(until=discover_and_invoke(stack, client, "Hello%",
+                                             name="y"))
+
+
+def test_replacement_upload_invalidates_client_caches():
+    tb, stack, cache = cached_stack()
+    client = stack.user_clients[0]
+    tb.sim.run(until=discover_and_invoke(stack, client, "Hello%", name="x"))
+    assert cache.lookup_wsdl("soap://appliance/HelloService") is not None
+    # Replace the executable with one declaring a different interface.
+    payload = make_payload("echo", size=int(KB(2)))
+    tb.sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "hello.sh", payload,
+        params_spec="name:string, shout:boolean"))
+    # The republish hook dropped the cached discovery + WSDL, so the
+    # next call re-fetches and generates a stub for the *new* spec.
+    assert cache.lookup_discovery("Hello%") is None
+    assert cache.lookup_wsdl("soap://appliance/HelloService") is None
+    out = tb.sim.run(until=discover_and_invoke(stack, client, "Hello%",
+                                               name="y", shout=True))
+    assert out == "y\ntrue\n"  # the new parameter reached the executable
