@@ -38,10 +38,10 @@ from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.core.context import RequestContext, span
 from repro.core.datastructures import ExecutableRecord
-from repro.core.watchdog import poll_until
+from repro.core.watchdog import await_mux, poll_until
 from repro.cyberaide.jobspec import CyberaideJobSpec
 from repro.errors import (
-    InvocationError, JobError, is_retryable, root_cause_name,
+    InvocationError, JobError, JobNotFound, is_retryable, root_cause_name,
 )
 from repro.resilience.retry import retry_call
 from repro.simkernel.events import Event
@@ -459,6 +459,7 @@ class GridServiceRuntime:
                 interval=cfg.poll_interval,
                 timeout=cfg.watchdog_timeout)
             report.polls += polls
+            self._emit_detected(ctx, job_id, site, polls, batched=False)
             if state != "done":
                 # A JobError (retryable): a crash-killed job may well
                 # succeed when resubmitted on another site.
@@ -467,6 +468,12 @@ class GridServiceRuntime:
                                             jobId=job_id, ctx=ctx)
             yield host.disk_write(len(output))
             return output
+
+        if cfg.datapath:
+            # Batched data path: the per-site multiplexer detects
+            # completion for us; only the final fetch stays per-job.
+            return (yield from self._await_output_mux(
+                session, site, spec, tag, job_id, report, ctx))
 
         # Faithful workaround: tentatively fetch output every interval,
         # writing each (partial) result to local disk, until the stdout
@@ -496,6 +503,7 @@ class GridServiceRuntime:
             interval=cfg.poll_interval,
             timeout=cfg.watchdog_timeout)
         report.polls += polls
+        self._emit_detected(ctx, job_id, site, polls, batched=False)
         # The last tentative fetch may predate completion; fetch final.
         output = yield stub.fetchOutput(session=session, site=site,
                                         jobId=job_id, ctx=ctx)
@@ -505,6 +513,53 @@ class GridServiceRuntime:
                 f"grid job {job_id} produced no final output "
                 f"(failed on the grid?)")
         return output
+
+    def _await_output_mux(self, session: str, site: str,
+                          spec: CyberaideJobSpec, tag: str, job_id: str,
+                          report: InvocationReport,
+                          ctx: Optional[RequestContext] = None
+                          ) -> Generator[Event, None, bytes]:
+        """Completion detection through the per-site PollMux.
+
+        The multiplexer runs one batched tentative poll covering every
+        in-flight job on the site; this waiter just parks on its event
+        (under the same watchdog deadline as the per-job loop) and then
+        performs the one per-job step that cannot batch — fetching the
+        final output.
+        """
+        cfg = self.onserve.config
+        host = self.onserve.host
+        stub = self.onserve.agent_stub
+        mux = self.onserve.poll_mux(site)
+        result, polls = yield await_mux(
+            self.sim, mux, job_id, spec.stdout_path(tag),
+            cfg.watchdog_timeout)
+        report.polls += polls
+        self._emit_detected(ctx, job_id, site, polls, batched=True)
+        if result["error"]:
+            # The gatekeeper lost the job record — same classification
+            # as the per-job path's raised lookup, so failover applies.
+            raise JobNotFound(
+                f"gatekeeper has no record of job {job_id!r}")
+        output = yield stub.fetchOutput(session=session, site=site,
+                                        jobId=job_id, ctx=ctx)
+        yield host.disk_write(len(output))
+        if output and set(output) == {0}:
+            raise JobError(
+                f"grid job {job_id} produced no final output "
+                f"(failed on the grid?)")
+        return output
+
+    def _emit_detected(self, ctx: Optional[RequestContext], job_id: str,
+                       site: str, polls: int, batched: bool) -> None:
+        """Observational completion-detection marker (no sim events):
+        correlated with the scheduler's ``sched.finish`` it yields the
+        detection lag the datapath ablation reports."""
+        self.onserve.bus.emit(
+            "core.output_detected", layer="core",
+            request_id=ctx.request_id if ctx else None,
+            service=self.record.name, site=site, job_id=job_id,
+            polls=polls, batched=batched)
 
 
 def _argument(value: Any) -> str:

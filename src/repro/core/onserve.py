@@ -73,11 +73,22 @@ class OnServeConfig:
                  breaker_failure_threshold: int = 3,
                  breaker_reset_timeout: float = 900.0,
                  failover_sites: int = 2,
-                 coalesce: bool = False):
+                 coalesce: bool = False,
+                 datapath: bool = False,
+                 poll_min_interval: float = 2.0,
+                 poll_max_interval: Optional[float] = None,
+                 poll_backoff: float = 2.0,
+                 ftp_session_idle: float = 600.0):
         if site_policy not in ("best", "round_robin", "random"):
             raise OnServeError(f"unknown site policy {site_policy!r}")
         if failover_sites < 0:
             raise OnServeError("failover_sites must be >= 0")
+        if poll_min_interval <= 0:
+            raise OnServeError("poll_min_interval must be positive")
+        if poll_backoff < 1.0:
+            raise OnServeError("poll_backoff must be >= 1.0")
+        if ftp_session_idle <= 0:
+            raise OnServeError("ftp_session_idle must be positive")
         self.grid_username = grid_username
         self.grid_passphrase = grid_passphrase
         #: Tentative-poll period (the "relative constant interval").
@@ -121,6 +132,23 @@ class OnServeConfig:
         #: GridFTP staging per (site, path).  Off by default: the
         #: faithful timeline (and every golden figure) runs without it.
         self.coalesce = coalesce
+        #: Grid data-path batching: GridFTP session reuse on the agent
+        #: plus one per-site adaptive PollMux driving batched tentative
+        #: polls instead of N fixed-interval per-job loops.  Off by
+        #: default: the goldens pin the pay-per-operation timeline.
+        self.datapath = datapath
+        #: Adaptive poll interval: floor, cap (defaults to the faithful
+        #: fixed interval) and exponential backoff factor.
+        self.poll_min_interval = poll_min_interval
+        self.poll_max_interval = (poll_max_interval
+                                  if poll_max_interval is not None
+                                  else poll_interval)
+        if self.poll_max_interval < poll_min_interval:
+            raise OnServeError(
+                "poll_max_interval must be >= poll_min_interval")
+        self.poll_backoff = poll_backoff
+        #: GridFTP control-channel idle timeout (session reuse).
+        self.ftp_session_idle = ftp_session_idle
 
 
 class OnServe:
@@ -184,6 +212,9 @@ class OnServe:
         self._agent_session: Optional[str] = None
         self._agent_session_expires = 0.0
         self._staged: Dict[tuple, str] = {}
+        #: One adaptive batch-polling multiplexer per site (datapath
+        #: mode); created lazily, schedules nothing while unused.
+        self._poll_muxes: Dict[str, "PollMux"] = {}
         # Durable invocation history (queried by the management API).
         from repro.db.table import Column
         if "invocations" not in self.dbmanager.db.tables:
@@ -389,6 +420,50 @@ class OnServe:
         return (yield from self.flights.do(
             ("agent-auth", cfg.grid_username), logon, group="auth"))
 
+    # -- per-site poll multiplexers (datapath mode) ---------------------------
+
+    def poll_mux(self, site: str) -> "PollMux":
+        """The (lazily created) batch-polling multiplexer for *site*.
+
+        Its batch operation is one ``pollOutputs`` agent call covering
+        every registered job; a per-job result is accepted once the
+        stdout file exists (output ready) or the gatekeeper reports the
+        job lost (flag ``E`` — the runtime turns that into
+        :class:`~repro.errors.JobNotFound` for failover).  Creating the
+        mux schedules nothing: an idle multiplexer cannot perturb a
+        timeline, which is what the golden guard proves.
+        """
+        mux = self._poll_muxes.get(site)
+        if mux is not None:
+            return mux
+        from repro.grid.poller import PollMux
+        cfg = self.config
+
+        def batch_poll(batch):
+            def op() -> Generator[Event, None, Dict[str, Dict]]:
+                session = yield from self.ensure_agent_session(None)
+                encoded = ";".join(f"{key}|{token}" for key, token in batch)
+                reply = yield self.agent_stub.pollOutputs(
+                    session=session, site=site, jobs=encoded)
+                results: Dict[str, Dict] = {}
+                for item in reply.split(";"):
+                    job_id, flag, nbytes = item.split("|")
+                    results[job_id] = {"ready": flag == "1",
+                                       "error": flag == "E",
+                                       "nbytes": int(nbytes)}
+                return results
+
+            return self.sim.process(op(), name=f"pollmux-batch:{site}")
+
+        mux = PollMux(
+            self.sim, site, batch_poll,
+            accept=lambda r: r is not None and (r["ready"] or r["error"]),
+            min_interval=cfg.poll_min_interval,
+            max_interval=cfg.poll_max_interval,
+            backoff=cfg.poll_backoff)
+        self._poll_muxes[site] = mux
+        return mux
+
     def drop_agent_session(self, session: Optional[str]) -> None:
         """Forget the shared session (dead credential recovery hook)."""
         if session is None or self._agent_session == session:
@@ -588,7 +663,9 @@ def deploy_onserve(testbed: Testbed,
             else DbManager(testbed.appliance_host)
         agent = CyberaideAgent(
             testbed.appliance_host, testbed,
-            AgentConfig(status_supported=config.status_supported))
+            AgentConfig(status_supported=config.status_supported,
+                        session_reuse=config.datapath,
+                        ftp_idle_timeout=config.ftp_session_idle))
         soap_server.deploy(agent.service_description(), agent.handler)
 
         # 4. Enrol the appliance's grid identity (certificate -> MyProxy

@@ -12,6 +12,9 @@ Two tools live here:
 * :func:`poll_until` — the tentative-polling loop (§VIII.B workaround):
   run a poll action every ``interval`` until a predicate accepts its
   result or the deadline passes.
+* :func:`await_mux` — the multiplexed variant: park on a
+  :class:`~repro.grid.poller.PollMux` waiter under the same deadline
+  discipline, unregistering on timeout so the mux stops polling for us.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from repro.simkernel.events import Event
 from repro.simkernel.kernel import Simulator
 from repro.simkernel.process import Interrupt, Process
 
-__all__ = ["Watchdog", "poll_until"]
+__all__ = ["Watchdog", "await_mux", "poll_until"]
 
 
 class Watchdog:
@@ -112,3 +115,32 @@ def poll_until(sim: Simulator,
             yield sim.timeout(interval)
 
     return sim.process(op(), name="poll-until")
+
+
+def await_mux(sim: Simulator, mux, key: Any, token: Any,
+              timeout: float) -> Process:
+    """Wait on a PollMux for *key* under a deadline.
+
+    Registers *key* with the multiplexer and parks until either the mux
+    detects the job (value is the mux's ``(result, polls)``) or
+    *timeout* elapses — in which case the key is unregistered (the mux
+    must not keep polling for a waiter that gave up) and
+    :class:`WatchdogTimeout` is raised, exactly like :func:`poll_until`.
+    A batch failure propagated through the waiter is re-raised as-is.
+    """
+    if timeout <= 0:
+        raise ValueError("await_mux timeout must be positive")
+
+    def op() -> Generator[Event, None, Tuple[Any, int]]:
+        waiter = mux.register(key, token)
+        deadline = sim.timeout(timeout)
+        yield sim.any_of([waiter, deadline])
+        if waiter.triggered:
+            if waiter.ok:
+                return waiter.value
+            raise waiter.value
+        mux.unregister(key)
+        raise WatchdogTimeout(
+            f"multiplexed polling for {key!r} gave up ({timeout:.0f}s)")
+
+    return sim.process(op(), name=f"await-mux:{key}")

@@ -21,6 +21,7 @@ from typing import Any, Dict, Generator, List, Optional
 from repro.core.context import RequestContext, span
 from repro.errors import AuthenticationFailed, CredentialExpired, GridError
 from repro.faults.injector import get_injector
+from repro.grid.gridftp import GridFtpSessionPool
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
 from repro.security.x509 import Certificate
@@ -36,13 +37,19 @@ class AgentConfig:
 
     def __init__(self, status_supported: bool = False,
                  default_proxy_lifetime: float = 12 * 3600.0,
-                 session_cpu: float = 0.01):
+                 session_cpu: float = 0.01,
+                 session_reuse: bool = False,
+                 ftp_idle_timeout: float = 600.0):
         #: The paper's workaround: False means jobStatus raises and
         #: clients must poll output tentatively.  True is the ablation.
         self.status_supported = status_supported
         self.default_proxy_lifetime = default_proxy_lifetime
         #: CPU charged per agent call for session bookkeeping.
         self.session_cpu = session_cpu
+        #: Data-path batching: reuse one GridFTP control channel per
+        #: (site, credential) instead of a handshake per transfer.
+        self.session_reuse = session_reuse
+        self.ftp_idle_timeout = ftp_idle_timeout
 
 
 class AgentSession:
@@ -75,6 +82,15 @@ class CyberaideAgent:
         self.uploads = 0
         self.submissions = 0
         self.output_polls = 0
+        self.batch_polls = 0
+        #: Control bytes spent on outputReady existence probes (single
+        #: and batched) — the agent-side share of the poll overhead.
+        self.probe_bytes = 0
+        #: GridFTP control channels, reused when session_reuse is on;
+        #: disabled the pool is a pure pass-through to the per-op path.
+        self._ftp_sessions = GridFtpSessionPool(
+            self.sim, enabled=self.config.session_reuse,
+            idle_timeout=self.config.ftp_idle_timeout)
         #: Observability plane: agent milestones become events.
         self._bus = bus(self.sim)
 
@@ -117,6 +133,10 @@ class CyberaideAgent:
                           [ParameterSpec("session", s),
                            ParameterSpec("site", s),
                            ParameterSpec("path", s)], "xsd:base64Binary"),
+            OperationSpec("pollOutputs",
+                          [ParameterSpec("session", s),
+                           ParameterSpec("site", s),
+                           ParameterSpec("jobs", s)], s),
         ], documentation="Cyberaide agent: production-grid access functions")
 
     def handler(self, operation: str, params: Dict[str, Any],
@@ -163,7 +183,8 @@ class CyberaideAgent:
                              ) -> Generator[Event, None, int]:
         sess = self._session(session)
         ftp = self._ftp(site)
-        n = yield ftp.put(self.host, sess.chain, path, data, ctx=ctx)
+        n = yield self._ftp_sessions.put(ftp, self.host, sess.chain, path,
+                                         data, ctx=ctx)
         self.uploads += 1
         self._bus.emit("agent.upload", layer="agent",
                        request_id=ctx.request_id if ctx else None,
@@ -191,14 +212,14 @@ class CyberaideAgent:
             raise GridError(
                 "job status is not retrievable through the Cyberaide agent "
                 "(known limitation); poll output tentatively instead")
-        state = yield self._gram(site).status(self.host, jobId)
+        state = yield self._gram(site).status(self.host, jobId, ctx=ctx)
         return state.value
 
     def _op_cancelJob(self, session: str, site: str, jobId: str,
                       ctx: Optional[RequestContext] = None
                       ) -> Generator[Event, None, bool]:
         self._session(session)
-        result = yield self._gram(site).cancel(self.host, jobId)
+        result = yield self._gram(site).cancel(self.host, jobId, ctx=ctx)
         return result
 
     def _op_outputReady(self, session: str, site: str, path: str,
@@ -212,6 +233,7 @@ class CyberaideAgent:
             yield self.host.send(gram.host, 512, label="exists-probe")
             exists = self._ftp(site).exists(path)
             yield gram.host.send(self.host, 128, label="exists-answer")
+        self.probe_bytes += 512 + 128
         return exists
 
     def _op_fetchOutput(self, session: str, site: str, jobId: str,
@@ -229,8 +251,63 @@ class CyberaideAgent:
                       ctx: Optional[RequestContext] = None
                       ) -> Generator[Event, None, bytes]:
         sess = self._session(session)
-        data = yield self._ftp(site).get(self.host, sess.chain, path, ctx=ctx)
+        data = yield self._ftp_sessions.get(self._ftp(site), self.host,
+                                            sess.chain, path, ctx=ctx)
         return data
+
+    def _op_pollOutputs(self, session: str, site: str, jobs: str,
+                        ctx: Optional[RequestContext] = None
+                        ) -> Generator[Event, None, str]:
+        """Batched tentative poll: k jobs in one gatekeeper exchange.
+
+        *jobs* is ``"jobId|stdoutPath;..."``; the reply is
+        ``"jobId|flag|nbytes;..."`` with flag ``1`` (stdout file exists
+        — output ready), ``0`` (still running) or ``E`` (the gatekeeper
+        has no record of the job — the classic lost job).  One
+        ``fetch_output_many`` exchange plus one batched existence probe
+        replace k of each.
+        """
+        self._session(session)
+        gram = self._gram(site)
+        ftp = self._ftp(site)
+        entries = []
+        for item in jobs.split(";"):
+            if not item:
+                continue
+            parts = item.split("|")
+            if len(parts) != 2 or not parts[0]:
+                raise GridError(f"malformed pollOutputs batch item {item!r}")
+            entries.append((parts[0], parts[1]))
+        if not entries:
+            raise GridError("pollOutputs requires at least one job")
+        k = len(entries)
+        with span(ctx, "agent:pollOutputs", site=site, jobs=k):
+            outputs = yield gram.fetch_output_many(
+                self.host, [job_id for job_id, _ in entries], ctx=ctx)
+            # One existence probe covers the whole batch: the job ids
+            # already crossed in the request, only the paths ride along.
+            probe = 512 + 16 * (k - 1)
+            answer = 128 + 4 * (k - 1)
+            yield self.host.send(gram.host, probe,
+                                 label="exists-probe-batch")
+            flags = {job_id: ftp.exists(path) for job_id, path in entries}
+            yield gram.host.send(self.host, answer,
+                                 label="exists-answer-batch")
+        self.probe_bytes += probe + answer
+        self.batch_polls += 1
+        self.output_polls += k
+        self._bus.emit("agent.poll_batch", layer="agent",
+                       request_id=ctx.request_id if ctx else None,
+                       site=site, jobs=k)
+        parts = []
+        for job_id, _path in entries:
+            data = outputs.get(job_id)
+            if data is None:
+                parts.append(f"{job_id}|E|0")
+            else:
+                flag = "1" if flags[job_id] else "0"
+                parts.append(f"{job_id}|{flag}|{len(data)}")
+        return ";".join(parts)
 
     # -- internals ---------------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional, Sequence
 
 from repro.core.context import RequestContext, span
-from repro.errors import SubmissionRefused
+from repro.errors import JobNotFound, SubmissionRefused
 from repro.faults.injector import get_injector
 from repro.grid.job import JobState
 from repro.grid.rsl import parse_rsl
@@ -42,6 +42,13 @@ class GramGatekeeper:
     POLL_BYTES = 768
     #: Head-node CPU per request (authorization, RSL handling, LRM talk).
     REQUEST_CPU = 0.05
+    #: Marginal control bytes per extra job folded into a batch exchange
+    #: (a job id + a flag ride in the request that already paid the
+    #: authentication/envelope cost once).
+    BATCH_ITEM_BYTES = 32
+    #: Marginal head-node CPU per extra job in a batch (one table lookup
+    #: vs a full authorization + envelope parse).
+    BATCH_ITEM_CPU = 0.001
 
     def __init__(self, site: GridSite):
         self.site = site
@@ -49,6 +56,14 @@ class GramGatekeeper:
         self.host = site.head
         self.submissions = 0
         self.refusals = 0
+        #: Data-path accounting (plain counters, never simulation events):
+        #: control-plane bytes exchanged, number of gatekeeper exchanges,
+        #: and the modelled head-node CPU cost — REQUEST_CPU per exchange
+        #: plus BATCH_ITEM_CPU per extra batched job.  The ablation in
+        #: ``scenarios/datapath.py`` reads these; the timeline never does.
+        self.control_bytes = 0
+        self.exchanges = 0
+        self.head_cpu_modeled = 0.0
         #: job_id -> completion event (fires with the terminal job).
         self._completions: Dict[str, Event] = {}
         #: Observability plane: concurrent gatekeeper exchanges become a
@@ -56,6 +71,13 @@ class GramGatekeeper:
         self._bus = bus(self.sim)
         self._inflight = gauges(self.sim).gauge(
             f"gram.{site.name}.inflight", unit="reqs")
+
+    def _account(self, nbytes: int, jobs: int = 1) -> None:
+        """Book one control exchange covering *jobs* jobs."""
+        self.control_bytes += nbytes
+        self.exchanges += 1
+        self.head_cpu_modeled += (self.REQUEST_CPU
+                                  + self.BATCH_ITEM_CPU * (jobs - 1))
 
     # -- operations (all simulation processes) ------------------------------
 
@@ -77,6 +99,8 @@ class GramGatekeeper:
                             f"{self.site.name}: gatekeeper unreachable "
                             f"(site outage)")
                     handshake = GsiAcceptor.handshake_bytes(chain)
+                    self._account(handshake + self.SUBMIT_OVERHEAD_BYTES
+                                  + len(rsl_text) + 512)
                     yield client.send(
                         self.host,
                         handshake + self.SUBMIT_OVERHEAD_BYTES + len(rsl_text),
@@ -121,29 +145,141 @@ class GramGatekeeper:
 
         return self.sim.process(op(), name="gram-submit")
 
-    def status(self, client: Host, job_id: str) -> Process:
+    def status(self, client: Host, job_id: str,
+               ctx: Optional[RequestContext] = None) -> Process:
         """Query a job's state; value is the :class:`JobState`."""
 
         def op() -> Generator[Event, None, JobState]:
-            yield client.send(self.host, self.POLL_BYTES, label="gram-status")
-            yield self.host.compute(0.005, tag="gram")
-            job = self.site.get_job(job_id)
-            yield self.host.send(client, 256, label="gram-status-rsp")
+            injector = get_injector(self.sim)
+            with span(ctx, "gram:status", site=self.site.name, job=job_id):
+                if injector is not None and injector.down(self.site.name):
+                    raise SubmissionRefused(
+                        f"{self.site.name}: gatekeeper unreachable "
+                        f"(site outage)")
+                self._account(self.POLL_BYTES + 256)
+                yield client.send(self.host, self.POLL_BYTES,
+                                  label="gram-status")
+                yield self.host.compute(0.005, tag="gram")
+                job = self.site.get_job(job_id)
+                yield self.host.send(client, 256, label="gram-status-rsp")
             return job.state
 
         return self.sim.process(op(), name=f"gram-status:{job_id}")
 
-    def cancel(self, client: Host, job_id: str) -> Process:
+    def cancel(self, client: Host, job_id: str,
+               ctx: Optional[RequestContext] = None) -> Process:
         """Cancel a queued/running job; value is True."""
 
         def op() -> Generator[Event, None, bool]:
-            yield client.send(self.host, self.POLL_BYTES, label="gram-cancel")
-            yield self.host.compute(0.01, tag="gram")
-            self.site.cancel_job(job_id)
-            yield self.host.send(client, 256, label="gram-cancel-rsp")
+            injector = get_injector(self.sim)
+            with span(ctx, "gram:cancel", site=self.site.name, job=job_id):
+                if injector is not None and injector.down(self.site.name):
+                    raise SubmissionRefused(
+                        f"{self.site.name}: gatekeeper unreachable "
+                        f"(site outage)")
+                self._account(self.POLL_BYTES + 256)
+                yield client.send(self.host, self.POLL_BYTES,
+                                  label="gram-cancel")
+                yield self.host.compute(0.01, tag="gram")
+                self.site.cancel_job(job_id)
+                yield self.host.send(client, 256, label="gram-cancel-rsp")
             return True
 
         return self.sim.process(op(), name=f"gram-cancel:{job_id}")
+
+    def status_many(self, client: Host, job_ids: Sequence[str],
+                    ctx: Optional[RequestContext] = None) -> Process:
+        """Query k jobs in one exchange; value maps id -> state.
+
+        The request pays one envelope (:attr:`POLL_BYTES`) plus
+        :attr:`BATCH_ITEM_BYTES` per extra job; a job the gatekeeper has
+        no record of maps to ``None`` instead of failing the batch.
+        """
+        ids = list(job_ids)
+
+        def op() -> Generator[Event, None, Dict[str, Optional[JobState]]]:
+            if not ids:
+                return {}
+            injector = get_injector(self.sim)
+            k = len(ids)
+            with span(ctx, "gram:status-many", site=self.site.name, jobs=k):
+                if injector is not None and injector.down(self.site.name):
+                    raise SubmissionRefused(
+                        f"{self.site.name}: gatekeeper unreachable "
+                        f"(site outage)")
+                request = self.POLL_BYTES + self.BATCH_ITEM_BYTES * (k - 1)
+                response = 256 + 16 * (k - 1)
+                self._account(request + response, jobs=k)
+                yield client.send(self.host, request,
+                                  label="gram-status-many")
+                yield self.host.compute(
+                    0.005 + self.BATCH_ITEM_CPU * (k - 1), tag="gram")
+                states: Dict[str, Optional[JobState]] = {}
+                for job_id in ids:
+                    try:
+                        states[job_id] = self.site.get_job(job_id).state
+                    except JobNotFound:
+                        states[job_id] = None
+                yield self.host.send(client, response,
+                                     label="gram-status-many-rsp")
+            self._bus.emit("gram.status_many", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           site=self.site.name, jobs=k)
+            return states
+
+        return self.sim.process(op(), name=f"gram-status-many:{len(ids)}")
+
+    def fetch_output_many(self, client: Host, job_ids: Sequence[str],
+                          ctx: Optional[RequestContext] = None) -> Process:
+        """Tentative-poll k jobs in one exchange; value maps id -> bytes.
+
+        One request envelope, one amortized site disk read covering all
+        jobs' partial output, one response.  A lost job (the gatekeeper
+        has no record) maps to ``None`` — the caller decides whether
+        that is fatal, exactly as a raised :class:`JobNotFound` would be
+        on the per-job path.
+        """
+        ids = list(job_ids)
+
+        def op() -> Generator[Event, None, Dict[str, Optional[bytes]]]:
+            if not ids:
+                return {}
+            injector = get_injector(self.sim)
+            k = len(ids)
+            with span(ctx, "gram:fetch-output-many", site=self.site.name,
+                      jobs=k):
+                if injector is not None and injector.down(self.site.name):
+                    raise SubmissionRefused(
+                        f"{self.site.name}: gatekeeper unreachable "
+                        f"(site outage)")
+                request = self.POLL_BYTES + self.BATCH_ITEM_BYTES * (k - 1)
+                yield client.send(self.host, request,
+                                  label="gram-output-many")
+                yield self.host.compute(
+                    0.005 + self.BATCH_ITEM_CPU * (k - 1), tag="gram")
+                outputs: Dict[str, Optional[bytes]] = {}
+                total = 0
+                for job_id in ids:
+                    try:
+                        data = self.site.partial_output(job_id)
+                    except JobNotFound:
+                        outputs[job_id] = None
+                        continue
+                    outputs[job_id] = data
+                    total += len(data)
+                if total:
+                    # One seek/read pass over the spool covers the batch.
+                    yield self.host.disk_read(total)
+                response = max(total, 128) + 16 * (k - 1)
+                self._account(request + 128 + 16 * (k - 1), jobs=k)
+                yield self.host.send(client, response,
+                                     label="gram-output-many-rsp")
+            self._bus.emit("gram.fetch_output_many", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           site=self.site.name, jobs=k, nbytes=total)
+            return outputs
+
+        return self.sim.process(op(), name=f"gram-output-many:{len(ids)}")
 
     def fetch_output(self, client: Host, job_id: str,
                      ctx: Optional[RequestContext] = None) -> Process:
@@ -164,6 +300,7 @@ class GramGatekeeper:
                     raise SubmissionRefused(
                         f"{self.site.name}: gatekeeper unreachable "
                         f"(site outage)")
+                self._account(self.POLL_BYTES + 128)
                 yield client.send(self.host, self.POLL_BYTES,
                                   label="gram-output")
                 data = self.site.partial_output(job_id)

@@ -4,11 +4,24 @@ Every operation is a simulation process: the GSI handshake bytes and the
 file bytes travel over the (typically slow WAN) path to the site's head
 node, then land on its disk.  The ~60-second, 80-90 KB/s upload plateau
 in Figure 7 is exactly a ``put`` through a thin uplink.
+
+Two control-path modes exist:
+
+* **Per-operation** (:meth:`GridFtpServer.put` / :meth:`~GridFtpServer.get`)
+  — every transfer pays a fresh GSI handshake plus control bytes, the
+  faithful pay-per-operation cost the goldens pin down.
+* **Session-oriented** (:class:`GridFtpSession`, pooled by
+  :class:`GridFtpSessionPool`) — one handshake + control channel per
+  ``(client, site, credential)``, reused across pipelined operations;
+  later operations pay only :attr:`GridFtpSession.SESSION_OP_BYTES` of
+  control traffic.  Sessions close lazily on idle timeout (checked at
+  the next use — an idle session schedules *no* simulation events, so a
+  constructed-but-unused pool cannot perturb a run).
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from typing import Dict, Generator, Optional, Sequence, Tuple
 
 from repro.core.context import RequestContext, span
 from repro.errors import TransferError
@@ -22,7 +35,7 @@ from repro.simkernel.process import Process
 from repro.telemetry.events import bus
 from repro.telemetry.gauges import gauges
 
-__all__ = ["GridFtpServer"]
+__all__ = ["GridFtpServer", "GridFtpSession", "GridFtpSessionPool"]
 
 
 class GridFtpServer:
@@ -39,6 +52,10 @@ class GridFtpServer:
         self.host = site.head
         self.transfers_in = 0
         self.transfers_out = 0
+        #: Control-channel bytes this endpoint has exchanged (handshakes
+        #: + command traffic; data payloads excluded).  Pure bookkeeping
+        #: — the data-path ablation reads it, the timeline never does.
+        self.control_bytes = 0
         #: Observability plane: concurrent data connections become a
         #: gauge, completed transfers become events.
         self._bus = bus(self.sim)
@@ -49,6 +66,75 @@ class GridFtpServer:
         # GSI mutual auth against the site's acceptor; raises on failure.
         self.site.acceptor.accept(chain, self.sim.now)
 
+    @staticmethod
+    def effective_streams(streams: int, nbytes: int) -> int:
+        """Clamp *streams* to the payload: a stream that would carry
+        zero bytes is never opened (tiny files on many streams used to
+        schedule empty parallel sends)."""
+        return max(1, min(streams, nbytes))
+
+    # -- shared halves (control already done by the caller) ------------------
+
+    def _ingest(self, client: Host, path: str, data: bytes, streams: int,
+                injector) -> Generator[Event, None, int]:
+        """Data-channel half of an upload: faults, parallel sends,
+        head-node checksumming, disk, storage-area bookkeeping."""
+        if injector is not None:
+            # A degraded link stalls the data channel before any
+            # byte moves; an abort dies mid-transfer, after half
+            # the payload already crossed the wire.
+            stall = injector.fire("gridftp.degrade", self.site.name)
+            if stall is not None and stall.duration > 0:
+                yield self.sim.timeout(stall.duration,
+                                       name="fault:gridftp-degrade")
+            if injector.fire("gridftp.abort", self.site.name):
+                yield client.send(self.host, len(data) // 2,
+                                  label=f"gridftp-put:{path}#aborted")
+                raise TransferError(
+                    f"{self.site.name}: data channel aborted "
+                    f"mid-transfer ({path!r})")
+        self._streams.adjust(+streams)
+        try:
+            if streams == 1:
+                yield client.send(self.host, len(data),
+                                  label=f"gridftp-put:{path}")
+            else:
+                chunk = len(data) // streams
+                sizes = [chunk] * (streams - 1)
+                sizes.append(len(data) - chunk * (streams - 1))
+                yield self.sim.all_of([
+                    client.send(self.host, size,
+                                label=f"gridftp-put:{path}#{i}")
+                    for i, size in enumerate(sizes)])
+        finally:
+            self._streams.adjust(-streams)
+        yield self.host.compute(
+            self.CPU_PER_MB * len(data) / (1024 * 1024),
+            tag="gridftp")
+        yield self.host.disk_write(len(data))
+        self.site.store_file(path, data)
+        self.transfers_in += 1
+        return len(data)
+
+    def _egress(self, client: Host, path: str
+                ) -> Generator[Event, None, bytes]:
+        """Data-channel half of a download: disk read + send back."""
+        if not self.site.has_file(path):
+            raise TransferError(
+                f"{self.site.name}: no such file {path!r}")
+        data = self.site.read_file(path)
+        yield self.host.disk_read(len(data))
+        self._streams.adjust(+1)
+        try:
+            yield self.host.send(client, len(data),
+                                 label=f"gridftp-get:{path}")
+        finally:
+            self._streams.adjust(-1)
+        self.transfers_out += 1
+        return data
+
+    # -- per-operation mode (fresh handshake every time) ---------------------
+
     def put(self, client: Host, chain: Sequence[Certificate],
             path: str, data: bytes, streams: int = 1,
             ctx: Optional[RequestContext] = None) -> Process:
@@ -58,10 +144,12 @@ class GridFtpServer:
         ``-p``).  Alone on a link it changes nothing; under contention
         each stream claims its own fair share, so a multi-stream
         transfer outruns single-stream competitors — exactly why the
-        option exists.
+        option exists.  Streams are clamped to the payload size: a
+        3-byte file on 8 streams opens 3 connections, not 8.
         """
         if streams < 1:
             raise TransferError("streams must be >= 1")
+        streams = self.effective_streams(streams, len(data))
 
         def op() -> Generator[Event, None, int]:
             started = self.sim.now
@@ -77,41 +165,8 @@ class GridFtpServer:
                                   handshake + streams * self.CONTROL_BYTES,
                                   label="gridftp-ctl")
                 self._authenticate(chain)
-                if injector is not None:
-                    # A degraded link stalls the data channel before any
-                    # byte moves; an abort dies mid-transfer, after half
-                    # the payload already crossed the wire.
-                    stall = injector.fire("gridftp.degrade", self.site.name)
-                    if stall is not None and stall.duration > 0:
-                        yield self.sim.timeout(stall.duration,
-                                               name="fault:gridftp-degrade")
-                    if injector.fire("gridftp.abort", self.site.name):
-                        yield client.send(self.host, len(data) // 2,
-                                          label=f"gridftp-put:{path}#aborted")
-                        raise TransferError(
-                            f"{self.site.name}: data channel aborted "
-                            f"mid-transfer ({path!r})")
-                self._streams.adjust(+streams)
-                try:
-                    if streams == 1:
-                        yield client.send(self.host, len(data),
-                                          label=f"gridftp-put:{path}")
-                    else:
-                        chunk = len(data) // streams
-                        sizes = [chunk] * (streams - 1)
-                        sizes.append(len(data) - chunk * (streams - 1))
-                        yield self.sim.all_of([
-                            client.send(self.host, size,
-                                        label=f"gridftp-put:{path}#{i}")
-                            for i, size in enumerate(sizes)])
-                finally:
-                    self._streams.adjust(-streams)
-                yield self.host.compute(
-                    self.CPU_PER_MB * len(data) / (1024 * 1024),
-                    tag="gridftp")
-                yield self.host.disk_write(len(data))
-                self.site.store_file(path, data)
-                self.transfers_in += 1
+                self.control_bytes += handshake + streams * self.CONTROL_BYTES
+                yield from self._ingest(client, path, data, streams, injector)
             self._bus.emit("gridftp.put", layer="grid",
                            request_id=ctx.request_id if ctx else None,
                            site=self.site.name, path=path, nbytes=len(data),
@@ -135,18 +190,8 @@ class GridFtpServer:
                 yield client.send(self.host, handshake + self.CONTROL_BYTES,
                                   label="gridftp-ctl")
                 self._authenticate(chain)
-                if not self.site.has_file(path):
-                    raise TransferError(
-                        f"{self.site.name}: no such file {path!r}")
-                data = self.site.read_file(path)
-                yield self.host.disk_read(len(data))
-                self._streams.adjust(+1)
-                try:
-                    yield self.host.send(client, len(data),
-                                         label=f"gridftp-get:{path}")
-                finally:
-                    self._streams.adjust(-1)
-                self.transfers_out += 1
+                self.control_bytes += handshake + self.CONTROL_BYTES
+                data = yield from self._egress(client, path)
             self._bus.emit("gridftp.get", layer="grid",
                            request_id=ctx.request_id if ctx else None,
                            site=self.site.name, path=path, nbytes=len(data),
@@ -158,36 +203,78 @@ class GridFtpServer:
     def third_party_transfer(self, client: Host,
                              chain: Sequence[Certificate],
                              src_path: str, dest: "GridFtpServer",
-                             dst_path: str) -> Process:
+                             dst_path: str,
+                             ctx: Optional[RequestContext] = None) -> Process:
         """Site-to-site transfer directed by a third party.
 
         The client authenticates to both ends over control channels; the
         data moves directly between the site head nodes (never through
         the client) — the classic GridFTP third-party mode that makes
         staging between centres practical over thin client links.
+
+        Fault plane and telemetry parity with :meth:`put`/:meth:`get`:
+        an outage at either end refuses the transfer, degrade/abort
+        faults hit the head-to-head data channel, both ends' stream
+        gauges track the connection, and a ``gridftp.third_party`` event
+        records the move.
         """
 
         def op() -> Generator[Event, None, int]:
-            handshake = GsiAcceptor.handshake_bytes(chain)
-            # Control channels to both ends.
-            yield client.send(self.host, handshake + self.CONTROL_BYTES,
-                              label="gridftp-3pt-src")
-            self._authenticate(chain)
-            yield client.send(dest.host, handshake + dest.CONTROL_BYTES,
-                              label="gridftp-3pt-dst")
-            dest._authenticate(chain)
-            if not self.site.has_file(src_path):
-                raise TransferError(
-                    f"{self.site.name}: no such file {src_path!r}")
-            data = self.site.read_file(src_path)
-            yield self.host.disk_read(len(data))
-            # Data channel: head node to head node.
-            yield self.host.send(dest.host, len(data),
-                                 label=f"gridftp-3pt:{src_path}")
-            yield dest.host.disk_write(len(data))
-            dest.site.store_file(dst_path, data)
-            self.transfers_out += 1
-            dest.transfers_in += 1
+            started = self.sim.now
+            injector = get_injector(self.sim)
+            with span(ctx, "gridftp:3pt", src=self.site.name,
+                      dest=dest.site.name):
+                if injector is not None:
+                    for end in (self, dest):
+                        if injector.down(end.site.name):
+                            raise TransferError(
+                                f"{end.site.name}: GridFTP unreachable "
+                                f"(site outage)")
+                handshake = GsiAcceptor.handshake_bytes(chain)
+                # Control channels to both ends.
+                yield client.send(self.host, handshake + self.CONTROL_BYTES,
+                                  label="gridftp-3pt-src")
+                self._authenticate(chain)
+                self.control_bytes += handshake + self.CONTROL_BYTES
+                yield client.send(dest.host, handshake + dest.CONTROL_BYTES,
+                                  label="gridftp-3pt-dst")
+                dest._authenticate(chain)
+                dest.control_bytes += handshake + dest.CONTROL_BYTES
+                if not self.site.has_file(src_path):
+                    raise TransferError(
+                        f"{self.site.name}: no such file {src_path!r}")
+                data = self.site.read_file(src_path)
+                yield self.host.disk_read(len(data))
+                if injector is not None:
+                    stall = injector.fire("gridftp.degrade", self.site.name)
+                    if stall is not None and stall.duration > 0:
+                        yield self.sim.timeout(stall.duration,
+                                               name="fault:gridftp-degrade")
+                    if injector.fire("gridftp.abort", self.site.name):
+                        yield self.host.send(
+                            dest.host, len(data) // 2,
+                            label=f"gridftp-3pt:{src_path}#aborted")
+                        raise TransferError(
+                            f"{self.site.name}: data channel aborted "
+                            f"mid-transfer ({src_path!r})")
+                # Data channel: head node to head node.
+                self._streams.adjust(+1)
+                dest._streams.adjust(+1)
+                try:
+                    yield self.host.send(dest.host, len(data),
+                                         label=f"gridftp-3pt:{src_path}")
+                finally:
+                    self._streams.adjust(-1)
+                    dest._streams.adjust(-1)
+                yield dest.host.disk_write(len(data))
+                dest.site.store_file(dst_path, data)
+                self.transfers_out += 1
+                dest.transfers_in += 1
+            self._bus.emit("gridftp.third_party", layer="grid",
+                           request_id=ctx.request_id if ctx else None,
+                           src=self.site.name, dest=dest.site.name,
+                           path=dst_path, nbytes=len(data),
+                           seconds=self.sim.now - started)
             return len(data)
 
         return self.sim.process(op(), name=f"gridftp-3pt:{src_path}")
@@ -195,3 +282,220 @@ class GridFtpServer:
     def exists(self, path: str) -> bool:
         """Control-channel existence check (no data transfer modelled)."""
         return self.site.has_file(path)
+
+
+class GridFtpSession:
+    """One reusable control channel between a client and a site.
+
+    The first operation (and the first after an idle timeout, a fault,
+    or a credential change) pays the full GSI handshake; every pipelined
+    operation after that pays only :attr:`SESSION_OP_BYTES` of command
+    traffic.  Establishment is single-flighted: concurrent first
+    operations share one handshake instead of racing several.
+    """
+
+    #: Command/reply bytes per pipelined operation on an open channel.
+    SESSION_OP_BYTES = 256
+
+    def __init__(self, server: GridFtpServer, client: Host,
+                 chain: Sequence[Certificate], idle_timeout: float = 600.0):
+        if idle_timeout <= 0:
+            raise TransferError("session idle timeout must be positive")
+        self.server = server
+        self.sim = server.sim
+        self.client = client
+        self.chain = chain
+        self.idle_timeout = idle_timeout
+        #: Experiment counters: handshakes paid vs operations carried.
+        self.handshakes = 0
+        self.ops = 0
+        self._open = False
+        self._last_used = 0.0
+        self._establishing: Optional[Event] = None
+        self._bus = bus(self.sim)
+        self._sessions_gauge = gauges(self.sim).gauge(
+            f"gridftp.{server.site.name}.sessions", unit="sessions")
+
+    @property
+    def open(self) -> bool:
+        """True while the control channel is usable *right now* (lazy
+        idle-close: an expired channel reads as closed)."""
+        return (self._open
+                and self.sim.now - self._last_used <= self.idle_timeout)
+
+    def invalidate(self) -> None:
+        """Drop the control channel (failure or credential change)."""
+        if self._open:
+            self._open = False
+            self._sessions_gauge.adjust(-1)
+
+    def _ensure_control(self) -> Generator[Event, None, None]:
+        """Handshake if needed, else pay the pipelined-op bytes."""
+        server = self.server
+        while True:
+            if self.open:
+                yield self.client.send(server.host, self.SESSION_OP_BYTES,
+                                       label="gridftp-sess-op")
+                server.control_bytes += self.SESSION_OP_BYTES
+                return
+            if self._establishing is not None:
+                # Another operation is mid-handshake: piggyback on it.
+                yield self._establishing
+                continue
+            if self._open:
+                # Stale (idle-expired) channel: close before reopening.
+                self.invalidate()
+            self._establishing = self.sim.event("gridftp-sess-establish")
+            try:
+                handshake = GsiAcceptor.handshake_bytes(self.chain)
+                yield self.client.send(
+                    server.host, handshake + server.CONTROL_BYTES,
+                    label="gridftp-ctl")
+                server._authenticate(self.chain)
+                server.control_bytes += handshake + server.CONTROL_BYTES
+                self.handshakes += 1
+                self._open = True
+                self._last_used = self.sim.now
+                self._sessions_gauge.adjust(+1)
+                self._bus.emit("gridftp.session_open", layer="grid",
+                               site=server.site.name,
+                               client=self.client.name)
+            finally:
+                pending, self._establishing = self._establishing, None
+                pending.succeed()
+            return
+
+    def put(self, path: str, data: bytes, streams: int = 1,
+            ctx: Optional[RequestContext] = None) -> Process:
+        """Pipelined upload over the session's control channel."""
+        if streams < 1:
+            raise TransferError("streams must be >= 1")
+        streams = GridFtpServer.effective_streams(streams, len(data))
+        server = self.server
+
+        def op() -> Generator[Event, None, int]:
+            started = self.sim.now
+            injector = get_injector(self.sim)
+            try:
+                with span(ctx, "gridftp:put", site=server.site.name,
+                          bytes=len(data), session=True):
+                    if (injector is not None
+                            and injector.down(server.site.name)):
+                        raise TransferError(
+                            f"{server.site.name}: GridFTP unreachable "
+                            f"(site outage)")
+                    yield from self._ensure_control()
+                    yield from server._ingest(self.client, path, data,
+                                              streams, injector)
+            except BaseException:
+                self.invalidate()
+                raise
+            self.ops += 1
+            self._last_used = self.sim.now
+            server._bus.emit("gridftp.put", layer="grid",
+                             request_id=ctx.request_id if ctx else None,
+                             site=server.site.name, path=path,
+                             nbytes=len(data), streams=streams,
+                             seconds=self.sim.now - started, session=True)
+            return len(data)
+
+        return self.sim.process(op(), name=f"gridftp-put:{path}")
+
+    def get(self, path: str,
+            ctx: Optional[RequestContext] = None) -> Process:
+        """Pipelined download over the session's control channel."""
+        server = self.server
+
+        def op() -> Generator[Event, None, bytes]:
+            started = self.sim.now
+            injector = get_injector(self.sim)
+            try:
+                with span(ctx, "gridftp:get", site=server.site.name,
+                          session=True):
+                    if (injector is not None
+                            and injector.down(server.site.name)):
+                        raise TransferError(
+                            f"{server.site.name}: GridFTP unreachable "
+                            f"(site outage)")
+                    yield from self._ensure_control()
+                    data = yield from server._egress(self.client, path)
+            except BaseException:
+                self.invalidate()
+                raise
+            self.ops += 1
+            self._last_used = self.sim.now
+            server._bus.emit("gridftp.get", layer="grid",
+                             request_id=ctx.request_id if ctx else None,
+                             site=server.site.name, path=path,
+                             nbytes=len(data), streams=1,
+                             seconds=self.sim.now - started, session=True)
+            return data
+
+        return self.sim.process(op(), name=f"gridftp-get:{path}")
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "open" if self.open else "closed"
+        return (f"<GridFtpSession {self.client.name}->"
+                f"{self.server.site.name} {state} ops={self.ops}>")
+
+
+class GridFtpSessionPool:
+    """Sessions keyed by ``(site, client, credential subject)``.
+
+    Disabled (the default), :meth:`put`/:meth:`get` delegate straight to
+    the per-operation server methods — no session objects are created,
+    no state is kept, and the timeline is byte-identical to a build
+    without this class.  Enabled, each distinct endpoint/credential pair
+    gets one reusable :class:`GridFtpSession`; presenting a *different*
+    credential chain for the same endpoint replaces the session (the old
+    control channel cannot authenticate the new delegation).
+    """
+
+    def __init__(self, sim, enabled: bool = False,
+                 idle_timeout: float = 600.0):
+        self.sim = sim
+        self.enabled = enabled
+        self.idle_timeout = idle_timeout
+        self._sessions: Dict[Tuple[str, str, str], GridFtpSession] = {}
+
+    def session(self, server: GridFtpServer, client: Host,
+                chain: Sequence[Certificate]) -> GridFtpSession:
+        """The (created-on-first-use) session for this endpoint pair."""
+        key = (server.site.name, client.name, chain[0].subject)
+        session = self._sessions.get(key)
+        if session is not None and session.chain is not chain:
+            # Fresh delegation (e.g. re-logon after expiry): the old
+            # control channel dies with its credential.
+            session.invalidate()
+            session = None
+        if session is None:
+            session = GridFtpSession(server, client, chain,
+                                     idle_timeout=self.idle_timeout)
+            self._sessions[key] = session
+        return session
+
+    def put(self, server: GridFtpServer, client: Host,
+            chain: Sequence[Certificate], path: str, data: bytes,
+            streams: int = 1,
+            ctx: Optional[RequestContext] = None) -> Process:
+        if not self.enabled:
+            return server.put(client, chain, path, data, streams=streams,
+                              ctx=ctx)
+        return self.session(server, client, chain).put(
+            path, data, streams=streams, ctx=ctx)
+
+    def get(self, server: GridFtpServer, client: Host,
+            chain: Sequence[Certificate], path: str,
+            ctx: Optional[RequestContext] = None) -> Process:
+        if not self.enabled:
+            return server.get(client, chain, path, ctx=ctx)
+        return self.session(server, client, chain).get(path, ctx=ctx)
+
+    @property
+    def open_sessions(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.open)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "on" if self.enabled else "off"
+        return (f"<GridFtpSessionPool {state} "
+                f"sessions={len(self._sessions)}>")

@@ -19,10 +19,14 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
   failure mode × its recovery invariant
 * :mod:`~repro.scenarios.throughput` — invocation hot-path ablation:
   caches + single-flight coalescing off vs on under concurrency
+* :mod:`~repro.scenarios.datapath` — grid data-path ablation:
+  per-operation control path vs GridFTP session reuse + batched
+  adaptive polling under per-site concurrency
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
 from repro.scenarios.common import ScenarioEnv, standard_env
+from repro.scenarios.datapath import DatapathResult, run_datapath
 from repro.scenarios.faults import FaultsResult, run_faults
 from repro.scenarios.fig6 import Fig6Result, run_fig6
 from repro.scenarios.fig7 import Fig7Result, run_fig7
@@ -43,4 +47,5 @@ __all__ = [
     "BottleneckResult", "run_bottleneck",
     "FaultsResult", "run_faults",
     "ThroughputResult", "run_throughput",
+    "DatapathResult", "run_datapath",
 ]

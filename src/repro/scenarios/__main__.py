@@ -5,9 +5,9 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, faults, throughput, all.  ``--smoke`` shrinks the
-workloads that support it (currently ``bottleneck``, ``faults`` and
-``throughput``) for fast CI validation.
+bottleneck, faults, throughput, datapath, all.  ``--smoke`` shrinks
+the workloads that support it (currently ``bottleneck``, ``faults``,
+``throughput`` and ``datapath``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -17,8 +17,9 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_bottleneck, run_faults, run_fig6, run_fig7, run_fig8,
-    run_overhead, run_scalability, run_smallfiles, run_throughput,
+    run_bottleneck, run_datapath, run_faults, run_fig6, run_fig7,
+    run_fig8, run_overhead, run_scalability, run_smallfiles,
+    run_throughput,
 )
 from repro.units import MB
 
@@ -75,6 +76,10 @@ def _throughput() -> str:
     return run_throughput(smoke=_SMOKE).render()
 
 
+def _datapath() -> str:
+    return run_datapath(smoke=_SMOKE).render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -85,6 +90,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "bottleneck": _bottleneck,
     "faults": _faults,
     "throughput": _throughput,
+    "datapath": _datapath,
 }
 
 
