@@ -1,0 +1,24 @@
+"""Replica fabric scale-out: sharded appliances behind the router.
+
+Runs the :mod:`repro.scenarios.scaleout` replica sweep and saves the
+paper-shaped report — the measured numbers behind the EXPERIMENTS.md
+SCALEOUT entry.  The headline claims are asserted here too: throughput
+scales near-linearly from 1 to 8 replicas (>= 6x), keeps growing at 16,
+and the router indirection costs less than 5% end-to-end when fronting
+a single replica.
+"""
+
+from repro.scenarios.scaleout import run_scaleout
+
+
+def test_scaleout_sweep(benchmark, save_report):
+    def run():
+        return run_scaleout(replica_levels=(1, 2, 4, 8, 16))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("scaleout", result.render())
+    assert result.speedup_at(2) >= 1.7
+    assert result.speedup_at(4) >= 3.2
+    assert result.speedup_at(8) >= 6.0
+    assert result.speedup_at(16) > result.speedup_at(8)
+    assert result.router_overhead() < 0.05

@@ -1,0 +1,239 @@
+"""The replica fabric: N stateless onServe appliances behind a router.
+
+:func:`deploy_fabric` generalizes :func:`~repro.core.onserve.deploy_onserve`
+from one virtual appliance to a sharded deployment (DESIGN.md §11):
+
+* **N replica hosts** cloned from the testbed's appliance host, each
+  with its own thin WAN uplink to the grid and its own LAN links, each
+  running the full software stack (SOAP container, Cyberaide agent,
+  :class:`~repro.core.onserve.OnServe`, UDDI inquiry + management
+  endpoints),
+* **one shared DB tier** (:class:`~repro.db.dbmanager.DbManager` on the
+  primary appliance host) holding the executables, the invocation
+  history and the :class:`~repro.core.registry.ServiceStateStore`
+  tables that make the replicas stateless,
+* **one shared UDDI registry** — still the placement source of truth
+  clients discover through, and
+* **one request router host** fronting the replicas
+  (:class:`~repro.ws.router.RequestRouter`): generated services publish
+  the *router* endpoint, so every invocation is hash-routed with
+  breaker-aware skip and least-loaded spill.
+
+``deploy_fabric(replicas=1)`` (router off) delegates to the exact
+``deploy_onserve`` sequence and merely *constructs* a disabled router —
+the default single-appliance timeline stays byte-identical, which the
+golden guard asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.appliance.deploy import DeployedAppliance, deploy_image
+from repro.appliance.image import ImageBuilder, ONSERVE_PACKAGES
+from repro.core.onserve import (
+    OnServe, OnServeConfig, OnServeStack, deploy_onserve,
+)
+from repro.core.registry import ServiceStateStore
+from repro.cyberaide.agent import AgentConfig, CyberaideAgent
+from repro.db.dbmanager import DbManager
+from repro.errors import OnServeError
+from repro.grid.testbed import Testbed
+from repro.hardware.host import Host, HostSpec
+from repro.simkernel.events import Event
+from repro.simkernel.process import Process
+from repro.units import Gbps
+from repro.ws.client import WsClient
+from repro.ws.router import RequestRouter
+from repro.ws.server import SoapFabric, SoapServer
+from repro.ws.uddi import UddiRegistry
+
+__all__ = ["FabricStack", "deploy_fabric"]
+
+
+class FabricStack(OnServeStack):
+    """Everything :func:`deploy_fabric` brings up, in one handle.
+
+    Subclasses :class:`OnServeStack` — ``soap_server``, ``onserve`` etc.
+    refer to the *primary* replica, so every single-appliance consumer
+    (portal, scenarios, tests) works unchanged — and adds the fabric
+    surfaces: the replica list, the shared store and the router.
+    """
+
+    def __init__(self, *args, onserves: List[OnServe],
+                 router: RequestRouter, store: ServiceStateStore,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Every replica's OnServe, primary first.
+        self.onserves = onserves
+        self.router = router
+        self.store = store
+
+    @property
+    def replica_hosts(self) -> List[Host]:
+        return [o.host for o in self.onserves]
+
+    def inquiry_endpoint(self) -> str:
+        if self.router.enabled:
+            from repro.ws.uddi_service import UddiInquiryService
+            return self.router.endpoint_for(UddiInquiryService.SERVICE_NAME)
+        return super().inquiry_endpoint()
+
+    def _attach_cache_hooks(self, cache) -> None:
+        # Invalidation must reach a client cache no matter *which*
+        # replica undeploys or republishes a service.
+        for onserve in self.onserves:
+            onserve.soap_server.on_undeploy(cache.invalidate_service)
+            onserve.on_republish(cache.invalidate_service)
+
+    def _detach_cache_hooks(self, cache) -> None:
+        for onserve in self.onserves:
+            onserve.soap_server.remove_undeploy_listener(
+                cache.invalidate_service)
+            onserve.remove_republish_listener(cache.invalidate_service)
+
+
+def _link_between(testbed: Testbed, a: str, b: str):
+    for link in testbed.network.links():
+        if {link.a, link.b} == {a, b}:
+            return link
+    return None
+
+
+def deploy_fabric(testbed: Testbed,
+                  config: Optional[OnServeConfig] = None,
+                  dbmanager: Optional[DbManager] = None,
+                  replicas: int = 1,
+                  router: Optional[bool] = None,
+                  spill_threshold: int = 4,
+                  router_spec: Optional[HostSpec] = None) -> Process:
+    """Deploy a replicated onServe fabric onto *testbed* (a sim process).
+
+    The process-event's value is a :class:`FabricStack`.  With
+    ``replicas=1`` and the router off (the default), the deployment is
+    the *exact* ``deploy_onserve`` sequence — byte-identical timeline —
+    with a disabled router attached for the golden guard to poke at.
+    ``router=None`` enables the router automatically when ``replicas >
+    1``.
+    """
+    if replicas < 1:
+        raise OnServeError("replicas must be >= 1")
+    config = config or OnServeConfig()
+    router_on = (replicas > 1) if router is None else bool(router)
+    sim = testbed.sim
+
+    if replicas == 1 and not router_on:
+        def passthrough() -> Generator[Event, None, FabricStack]:
+            stack = yield deploy_onserve(testbed, config, dbmanager)
+            # Attached-but-disabled: constructed, ringed, *not* in the
+            # fabric — it owns no endpoint and routes nothing.
+            idle = RequestRouter(stack.appliance_host, stack.fabric,
+                                 enabled=False,
+                                 spill_threshold=spill_threshold)
+            idle.add_replica(stack.appliance_host.name, stack.soap_server,
+                             stack.onserve)
+            stack.onserve.router = idle
+            return FabricStack(
+                testbed, stack.appliance, stack.fabric, stack.soap_server,
+                stack.uddi, stack.dbmanager, stack.agent, stack.onserve,
+                stack.user_clients, onserves=[stack.onserve], router=idle,
+                store=stack.onserve.store)
+
+        return sim.process(passthrough(), name="deploy-fabric")
+
+    def op() -> Generator[Event, None, FabricStack]:
+        network = testbed.network
+        primary = testbed.appliance_host
+
+        # Replica hosts clone the primary's hardware and connectivity:
+        # each gets its own thin WAN uplink (the per-appliance 85 KB/s
+        # pipe is exactly what sharding multiplies) and LAN links to the
+        # users and the router.  Multi-hop through the primary would
+        # funnel everything back through one uplink.
+        uplink = _link_between(testbed, primary.name, "wan-core")
+        lan = (_link_between(testbed, testbed.user_hosts[0].name,
+                             primary.name)
+               if testbed.user_hosts else None)
+        lan_bw = lan.bandwidth if lan is not None else Gbps(1)
+        lan_lat = lan.latency if lan is not None else 0.0005
+        hosts: List[Host] = [primary]
+        for i in range(2, replicas + 1):
+            host = Host(sim, f"appliance{i:02d}", network, primary.spec)
+            network.connect(host.name, "wan-core",
+                            bandwidth=uplink.bandwidth,
+                            latency=uplink.latency)
+            for user in testbed.user_hosts:
+                network.connect(user.name, host.name, bandwidth=lan_bw,
+                                latency=lan_lat)
+            hosts.append(host)
+        router_host = Host(sim, "router", network,
+                           router_spec or HostSpec(cores=4))
+        for peer in hosts + testbed.user_hosts:
+            network.connect(router_host.name, peer.name, bandwidth=lan_bw,
+                            latency=lan_lat)
+
+        # 1. One appliance image, deployed onto every replica host in
+        #    parallel (on-demand deployment, fabric-style).
+        builder = ImageBuilder()
+        for package in ONSERVE_PACKAGES():
+            builder.provide(package)
+        image = builder.build("cyberaide-onserve", ["cyberaide-onserve"])
+        deploys = [deploy_image(image, host) for host in hosts]
+        results = yield sim.all_of(deploys)
+        appliances: List[DeployedAppliance] = [results[p] for p in deploys]
+
+        # 2. The shared tiers: endpoint fabric, UDDI, DB + state store.
+        fabric = SoapFabric()
+        uddi = UddiRegistry()
+        db = dbmanager if dbmanager is not None else DbManager(primary)
+        store = ServiceStateStore(db.db)
+
+        # 3. Grid identity, once — replicas share the onserve principal.
+        testbed.new_grid_identity(config.grid_username,
+                                  config.grid_passphrase)
+
+        # 4. Per-replica software stack.
+        from repro.core.management import ManagementService
+        from repro.ws.uddi_service import UddiInquiryService
+        onserves: List[OnServe] = []
+        servers: List[SoapServer] = []
+        for host in hosts:
+            soap_server = SoapServer(host, fabric)
+            agent = CyberaideAgent(
+                host, testbed,
+                AgentConfig(status_supported=config.status_supported,
+                            session_reuse=config.datapath,
+                            ftp_idle_timeout=config.ftp_session_idle))
+            soap_server.deploy(agent.service_description(), agent.handler)
+            onserve = OnServe(host, soap_server, fabric, uddi, db, agent,
+                              config, store=store)
+            inquiry = UddiInquiryService(uddi)
+            soap_server.deploy(inquiry.service_description(),
+                               inquiry.handler)
+            management = ManagementService(onserve)
+            soap_server.deploy(management.service_description(),
+                               management.handler)
+            onserves.append(onserve)
+            servers.append(soap_server)
+
+        # 5. The router endpoint over all replicas.
+        request_router = RequestRouter(
+            router_host, fabric, enabled=router_on,
+            spill_threshold=spill_threshold,
+            breaker_failure_threshold=config.breaker_failure_threshold)
+        for onserve, server in zip(onserves, servers):
+            request_router.add_replica(onserve.replica, server, onserve)
+            onserve.router = request_router
+
+        user_clients = [WsClient(host, fabric)
+                        for host in testbed.user_hosts]
+        if dbmanager is not None:
+            # Redeployment over recovered data: the primary rebuilds the
+            # published surface; other replicas materialize on demand.
+            yield onserves[0].restore_services()
+        return FabricStack(
+            testbed, appliances[0], fabric, servers[0], uddi, db,
+            onserves[0].agent, onserves[0], user_clients,
+            onserves=onserves, router=request_router, store=store)
+
+    return sim.process(op(), name="deploy-fabric")

@@ -191,7 +191,8 @@ class GridServiceRuntime:
                         self.record.name))
 
                 exe = yield from self.onserve.flights.do(
-                    ("db-load", self.record.name), db_fetch, group="db-load")
+                    ("db-load", self.onserve.replica, self.record.name),
+                    db_fetch, group="db-load")
                 host.allocate_memory(exe.size)
                 held_bytes = exe.size
                 # "stored in a temporary location"
@@ -266,9 +267,13 @@ class GridServiceRuntime:
                         flights = self.onserve.flights
                         digest = (self.onserve._digest(exe.payload)
                                   if flights.enabled else "")
+                        # Keyed by replica: fabrics share one DbManager,
+                        # and replica A's staging flight must never be
+                        # joined by an invocation running on replica B
+                        # (each replica stages over its own uplink).
                         yield from flights.do(
-                            ("stage", site, staged, digest), stage,
-                            group="staging")
+                            ("stage", self.onserve.replica, site, staged,
+                             digest), stage, group="staging")
                     # The buffer is staged (or cached); collect it now.
                     host.release_memory(held_bytes)
                     held_bytes = 0
@@ -415,7 +420,7 @@ class GridServiceRuntime:
             # every runtime (one MyProxy logon for N services).
             session = yield from self.onserve.ensure_agent_session(ctx)
             self._session = session
-            self._session_expires = self.onserve._agent_session_expires
+            self._session_expires = self.onserve.agent_session_expires()
             return session
         while True:
             if (self._session is not None

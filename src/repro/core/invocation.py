@@ -19,9 +19,7 @@ from repro.errors import ServiceNotFound
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
 from repro.ws.client import WsClient, generate_stub
-from repro.ws.uddi_service import (
-    UddiInquiryService, parse_binding_lines, parse_service_lines,
-)
+from repro.ws.uddi_service import parse_binding_lines, parse_service_lines
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.onserve import OnServeStack
@@ -39,8 +37,7 @@ def discover_service(stack: "OnServeStack", client: WsClient,
     :class:`~repro.ws.cache.ClientCache` on the client answers without
     touching the network at all.
     """
-    inquiry_endpoint = stack.soap_server.endpoint_for(
-        UddiInquiryService.SERVICE_NAME)
+    inquiry_endpoint = stack.inquiry_endpoint()
 
     def op() -> Generator[Event, None, Tuple[str, str, str]]:
         if client.cache is not None:

@@ -73,8 +73,15 @@ class ManagementService:
 
     def _describe(self, name: str) -> str:
         service = self.onserve.get_service(name)
-        runtime = self.onserve.runtimes[name]
-        ok = sum(1 for r in runtime.reports if r.ok)
+        # A fabric replica may know the service only as a store record
+        # (generated elsewhere, not yet materialized here) — report the
+        # record-level invocation count instead of local reports then.
+        runtime = self.onserve.runtimes.get(name)
+        if runtime is not None:
+            ok = sum(1 for r in runtime.reports if r.ok)
+            invocations = f"{len(runtime.reports)} ({ok} ok)"
+        else:
+            invocations = f"{service.invocations} (fabric-wide)"
         lines = [
             f"service      : {service.service_name}",
             f"executable   : {service.executable_name}",
@@ -83,7 +90,7 @@ class ManagementService:
             f"uddi key     : {service.uddi_service_key}",
             f"created at   : {service.created_at:.1f}",
             f"archive size : {service.archive_size} B",
-            f"invocations  : {len(runtime.reports)} ({ok} ok)",
+            f"invocations  : {invocations}",
         ]
         return "\n".join(lines)
 

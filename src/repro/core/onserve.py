@@ -26,6 +26,7 @@ from repro.core.datastructures import (
     ExecutableRecord, GeneratedService, parse_params_spec, service_name_for,
 )
 from repro.core.grid_service import GridServiceRuntime
+from repro.core.registry import ServiceStateStore
 from repro.core.service_builder import ServiceBuilder
 from repro.cyberaide.agent import AgentConfig, CyberaideAgent
 from repro.cyberaide.jobspec import staged_path_for
@@ -159,7 +160,8 @@ class OnServe:
     def __init__(self, host: Host, soap_server: SoapServer,
                  fabric: SoapFabric, uddi: UddiRegistry,
                  dbmanager: DbManager, agent: CyberaideAgent,
-                 config: Optional[OnServeConfig] = None):
+                 config: Optional[OnServeConfig] = None,
+                 store: Optional[ServiceStateStore] = None):
         self.host = host
         self.sim = host.sim
         self.soap_server = soap_server
@@ -169,6 +171,16 @@ class OnServe:
         self.agent = agent
         self.config = config or OnServeConfig()
         self.builder = ServiceBuilder(host, soap_server)
+        #: This replica's identity in the fabric (the host name).
+        self.replica = host.name
+        #: The replicated source of truth for service/deployment state.
+        #: A lone appliance creates its own store over its own database;
+        #: ``deploy_fabric`` passes one shared store to every replica.
+        self.store = store if store is not None \
+            else ServiceStateStore(dbmanager.db)
+        #: Set by ``deploy_fabric`` when a request router fronts this
+        #: replica; generated services then publish the router endpoint.
+        self.router = None
         #: Observability plane: middleware milestones become events.
         self.bus = bus(self.sim)
         #: Resilience plane: one shared retry policy + per-site breakers.
@@ -187,12 +199,19 @@ class OnServe:
         # "client" package), over the loopback path.
         wsdl = soap_server.wsdl(CyberaideAgent.SERVICE_NAME)
         self.agent_stub = generate_stub(wsdl)(WsClient(host, fabric))
-        # UDDI anchors.
-        self.business = uddi.save_business(
-            self.BUSINESS_NAME, "SaaS on production grids")
-        self.tmodel = uddi.save_tmodel(
+        # UDDI anchors.  Replicas share one registry: the first replica
+        # publishes the business entity and tModel, later ones reuse
+        # them instead of minting duplicates.
+        existing_biz = uddi.find_business(self.BUSINESS_NAME)
+        self.business = existing_biz[0] if existing_biz else \
+            uddi.save_business(self.BUSINESS_NAME, "SaaS on production grids")
+        existing_tm = uddi.find_tmodel("onserve:grid-execution")
+        self.tmodel = existing_tm[0] if existing_tm else uddi.save_tmodel(
             "onserve:grid-execution",
             overview_url=f"soap://{host.name}/onserve-docs")
+        #: Write-through cache over the store: the services/runtimes this
+        #: replica has locally materialized.  The store row is the truth;
+        #: these dicts only memoize the live objects built from it.
         self.services: Dict[str, GeneratedService] = {}
         self.runtimes: Dict[str, GridServiceRuntime] = {}
         # Teardown hangs off the container's undeploy hook so UDDI and
@@ -200,18 +219,26 @@ class OnServe:
         # a service (previously a direct SoapServer.undeploy left stale
         # bindingTemplates behind).
         soap_server.on_undeploy(self._on_soap_undeploy)
+        # Cross-replica invalidation: another replica's undeploy or
+        # replacement upload must drop this replica's cached objects.
+        self.store.subscribe(self.replica, self._on_store_removed,
+                             self._on_store_republished)
+        #: Guard flag: the service currently being dropped *because* of
+        #: a store fan-out (so the local undeploy hook does not recurse
+        #: back into the store).
+        self._cascading: Optional[str] = None
+        #: In-flight materializations, one pending event per service
+        #: (prevents two concurrent requests double-building a service).
+        self._materializing: Dict[str, Event] = {}
         #: Listeners told when a replacement upload republishes a
         #: service in place (client caches hang invalidation off this).
         self._republish_listeners: List = []
         #: Single-flight coalescing of concurrent invocations' shared
         #: work (enabled by ``config.coalesce``; a no-op pass-through
-        #: otherwise, so the default timeline is untouched).
+        #: otherwise, so the default timeline is untouched).  Flight
+        #: keys include ``self.replica`` so two replicas sharing one
+        #: DbManager can never alias each other's flights.
         self.flights = SingleFlight(self.sim, enabled=self.config.coalesce)
-        #: Appliance-wide agent session shared across runtimes when
-        #: coalescing is on (one MyProxy logon for N services).
-        self._agent_session: Optional[str] = None
-        self._agent_session_expires = 0.0
-        self._staged: Dict[tuple, str] = {}
         #: One adaptive batch-polling multiplexer per site (datapath
         #: mode); created lazily, schedules nothing while unused.
         self._poll_muxes: Dict[str, "PollMux"] = {}
@@ -230,15 +257,9 @@ class OnServe:
                 Column("error", "TEXT"),
             ])
             self.dbmanager.db.create_index("invocations", "service", "hash")
-        # Resume numbering after recovered history (appliance restarts).
-        from repro.db.sql import execute_sql
-        row = execute_sql(self.dbmanager.db,
-                          "SELECT MAX(id) FROM invocations")[0]
-        self._invocation_counter = row["max(id)"] or 0
-        # Job tags must stay unique across appliance restarts — a reused
-        # tag would alias an old stdout file on the grid and fool the
-        # outputReady probe.
-        self._tag_seq = self._invocation_counter
+        # Resume numbering after recovered history (appliance restarts);
+        # the counters are fabric-wide, so this seeds only once.
+        self.store.seed_counters()
 
     # -- upload cache (ablation support) ---------------------------------------
 
@@ -247,10 +268,11 @@ class OnServe:
         return hashlib.sha256(payload).hexdigest()
 
     def is_staged(self, site: str, path: str, payload: bytes) -> bool:
-        return self._staged.get((site, path)) == self._digest(payload)
+        return self.store.staged_digest(site, path) == self._digest(payload)
 
     def mark_staged(self, site: str, path: str, payload: bytes) -> None:
-        self._staged[(site, path)] = self._digest(payload)
+        self.store.mark_staged(site, path, self._digest(payload),
+                               self.replica)
 
     # -- §VII.A "further treatment" -----------------------------------------------
 
@@ -271,7 +293,7 @@ class OnServe:
             params = parse_params_spec(params_spec)
 
             service_name = service_name_for(name)
-            existing = self.services.get(service_name)
+            existing = self._cached_or_stored(service_name)
             if existing is not None and existing.executable_name != name:
                 # "hello.sh" and "hello.py" would both become
                 # HelloService — refuse instead of silently aliasing.
@@ -322,6 +344,10 @@ class OnServe:
         with span(ctx, "onserve:build", service=service_name):
             endpoint, archive = yield self.builder.build_and_deploy(
                 record, runtime.handler)
+        # Behind an enabled router the *published* endpoint is the
+        # router's — clients must route, not pin this replica.
+        if self.router is not None and self.router.enabled:
+            endpoint = self.router.endpoint_for(service_name)
         with span(ctx, "onserve:uddi-publish", service=service_name):
             yield self.host.compute(0.02, tag="uddi")
             entry = self.uddi.save_service(
@@ -341,6 +367,7 @@ class OnServe:
             created_at=self.sim.now)
         self.services[service_name] = service
         self.runtimes[service_name] = runtime
+        self.store.put_record(service, self.replica)
         self.bus.emit("core.service_generated", layer="core",
                       request_id=ctx.request_id if ctx else None,
                       service=service_name, executable=record.name,
@@ -366,46 +393,64 @@ class OnServe:
         runtime = self.runtimes.get(service_name)
         if runtime is not None:
             runtime.record = record
-        self.soap_server.update_description(
-            service_name, self.builder.description_for(record))
+        try:
+            self.soap_server.update_description(
+                service_name, self.builder.description_for(record))
+        except ServiceNotFound:
+            pass  # not materialized on this replica; nothing deployed
         try:
             self.uddi.get_service(existing.uddi_service_key).description = \
                 record.description
         except UddiError:
             pass  # unpublished out-of-band; nothing to refresh
-        staged = staged_path_for(record.name)
-        self._staged = {key: digest
-                        for key, digest in self._staged.items()
-                        if key[1] != staged}
+        self.store.evict_staged(staged_path_for(record.name))
         self.bus.emit("core.service_republished", layer="core",
                       service=service_name, executable=record.name,
                       size=record.size)
         for listener in list(self._republish_listeners):
             listener(service_name)
+        # Other replicas drop their stale materializations of this
+        # service; the next request there rebuilds from the fresh row.
+        self.store.record_republished(service_name, origin=self.replica)
 
     def on_republish(self, listener) -> None:
         """Register *listener(service_name)* to run after a replacement
         upload republishes a service in place (cache invalidation)."""
         self._republish_listeners.append(listener)
 
+    def remove_republish_listener(self, listener) -> None:
+        """Detach a republish listener (idempotent)."""
+        try:
+            self._republish_listeners.remove(listener)
+        except ValueError:
+            pass
+
     # -- shared agent session (single-flight across runtimes) -----------------
+
+    def agent_session_expires(self) -> float:
+        """When this replica's leased agent session expires (0 if none)."""
+        lease = self.store.get_lease(self.replica,
+                                     self.config.grid_username)
+        return lease[1] if lease is not None else 0.0
 
     def ensure_agent_session(self, ctx: Optional[RequestContext] = None
                              ) -> Generator[Event, None, str]:
         """One appliance-wide agent session, logons coalesced.
 
         A generator meant to be delegated to (``yield from``) inside a
-        simulation process.  While a cached session is fresh it is
+        simulation process.  While the leased session is fresh it is
         returned without any simulated work; otherwise exactly one
         MyProxy logon runs per expiry, no matter how many invocations
-        (of however many services) race for it.
+        (of however many services) race for it.  The lease lives in the
+        store keyed by replica: each replica's own agent mints its own
+        session, and flights on different replicas never coalesce.
         """
         cfg = self.config
-        if (self._agent_session is not None
-                and self.sim.now < self._agent_session_expires):
+        lease = self.store.get_lease(self.replica, cfg.grid_username)
+        if lease is not None and self.sim.now < lease[1]:
             self.bus.emit("cache.hit", layer="core", cache="session",
                           key=cfg.grid_username)
-            return self._agent_session
+            return lease[0]
 
         def logon() -> Generator[Event, None, str]:
             self.bus.emit("cache.miss", layer="core", cache="session",
@@ -413,12 +458,13 @@ class OnServe:
             session = yield self.agent_stub.authenticate(
                 username=cfg.grid_username,
                 passphrase=cfg.grid_passphrase, ctx=ctx)
-            self._agent_session = session
-            self._agent_session_expires = self.sim.now + cfg.session_renewal
+            self.store.put_lease(self.replica, cfg.grid_username, session,
+                                 self.sim.now + cfg.session_renewal)
             return session
 
         return (yield from self.flights.do(
-            ("agent-auth", cfg.grid_username), logon, group="auth"))
+            ("agent-auth", self.replica, cfg.grid_username), logon,
+            group="auth"))
 
     # -- per-site poll multiplexers (datapath mode) ---------------------------
 
@@ -466,9 +512,8 @@ class OnServe:
 
     def drop_agent_session(self, session: Optional[str]) -> None:
         """Forget the shared session (dead credential recovery hook)."""
-        if session is None or self._agent_session == session:
-            self._agent_session = None
-            self._agent_session_expires = 0.0
+        self.store.drop_lease(self.replica, self.config.grid_username,
+                              session)
 
     def restore_services(self) -> Process:
         """Regenerate every service from the executables table.
@@ -499,21 +544,25 @@ class OnServe:
         return self.sim.process(op(), name="restore-services")
 
     def new_job_tag(self) -> str:
-        """A per-invocation tag unique across restarts (stdout naming)."""
-        self._tag_seq += 1
-        return f"i{self._tag_seq:06d}"
+        """A per-invocation tag unique across restarts (stdout naming).
+
+        The sequence is fabric-wide (store-backed): two replicas must
+        never mint the same tag, or their stdout files would alias on
+        the grid and fool each other's outputReady probes.
+        """
+        return f"i{self.store.next_tag_seq():06d}"
 
     # -- invocation history ---------------------------------------------------
 
     def record_invocation(self, service_name: str, report) -> None:
         """Persist one execute() report (bookkeeping; no simulated cost —
         the row rides along the WAL writes already charged elsewhere)."""
-        self._invocation_counter += 1
         svc = self.services.get(service_name)
         if svc is not None:
             svc.invocations += 1
+        self.store.bump_invocations(service_name)
         self.dbmanager.db.insert("invocations", [
-            self._invocation_counter,
+            self.store.next_invocation_id(),
             service_name,
             report.job_id,
             report.started_at,
@@ -538,38 +587,155 @@ class OnServe:
 
     # -- management ---------------------------------------------------------------
 
+    def _cached_or_stored(self, service_name: str
+                          ) -> Optional[GeneratedService]:
+        """The local object if cached, else a view of the store row."""
+        svc = self.services.get(service_name)
+        if svc is not None:
+            return svc
+        row = self.store.get_record(service_name)
+        if row is None:
+            return None
+        return ServiceStateStore.rehydrate(row)
+
     def get_service(self, service_name: str) -> GeneratedService:
-        try:
-            return self.services[service_name]
-        except KeyError:
+        svc = self._cached_or_stored(service_name)
+        if svc is None:
             raise ServiceNotFound(
-                f"onServe has no service {service_name!r}") from None
+                f"onServe has no service {service_name!r}")
+        return svc
 
     def list_services(self) -> List[GeneratedService]:
-        return [self.services[k] for k in sorted(self.services)]
+        merged = {row["service_name"]: ServiceStateStore.rehydrate(row)
+                  for row in self.store.all_records()}
+        merged.update(self.services)
+        return [merged[k] for k in sorted(merged)]
+
+    # -- replica materialization (deploy on A, invoke on B) --------------------
+
+    def ensure_local_service(self, service_name: str,
+                             ctx: Optional[RequestContext] = None
+                             ) -> Generator[Event, None, None]:
+        """Make *service_name* servable by this replica's container.
+
+        A generator meant to be delegated to (``yield from``).  On the
+        hot path — the service is already deployed locally — it yields
+        nothing and costs nothing.  Otherwise the service exists only as
+        a store row (generated through another replica): rebuild the
+        runtime from the executables table and deploy it into the local
+        container, charging this replica's CPU, *without* republishing
+        UDDI (the record is already published).  Concurrent requests for
+        the same service park on one pending event instead of
+        double-building.
+        """
+        while True:
+            try:
+                self.soap_server.service(service_name)
+                return  # already servable here (generated or infra)
+            except ServiceNotFound:
+                pass
+            pending = self._materializing.get(service_name)
+            if pending is None:
+                break
+            yield pending  # someone is building it; re-check after
+
+        row = self.store.get_record(service_name)
+        if row is None:
+            raise ServiceNotFound(
+                f"onServe has no service {service_name!r}")
+        from repro.errors import RecordNotFound
+        try:
+            exe = self.dbmanager.db.get_by_pk(self.dbmanager.TABLE,
+                                              row["executable_name"])
+        except RecordNotFound:
+            raise ServiceNotFound(
+                f"service {service_name!r} lost its executable "
+                f"{row['executable_name']!r}") from None
+        record = ExecutableRecord(
+            exe["name"], exe["description"],
+            parse_params_spec(exe["params_spec"]),
+            size=exe["size"], uploaded_by="materialize",
+            uploaded_at=exe["stored_at"])
+        runtime = GridServiceRuntime(self, record)
+        pending = self.sim.event(f"materialize:{service_name}")
+        self._materializing[service_name] = pending
+        try:
+            with span(ctx, "onserve:materialize", service=service_name):
+                yield self.builder.build_and_deploy(record, runtime.handler)
+            self.services[service_name] = ServiceStateStore.rehydrate(row)
+            self.runtimes[service_name] = runtime
+            self.bus.emit("core.service_materialized", layer="core",
+                          request_id=ctx.request_id if ctx else None,
+                          service=service_name, replica=self.replica,
+                          origin=row["replica"])
+        finally:
+            del self._materializing[service_name]
+            pending.succeed()
 
     def _on_soap_undeploy(self, service_name: str) -> None:
         """Container undeploy hook: unpublish UDDI, drop the registries.
 
         Idempotent, and tolerant of services the container hosts that
-        onServe never generated (agent, inquiry, management).
+        onServe never generated (agent, inquiry, management).  When the
+        drop is itself the *result* of a store fan-out (another replica
+        undeployed), only the local caches fall — the origin replica
+        already did the global cleanup.
         """
         service = self.services.pop(service_name, None)
         self.runtimes.pop(service_name, None)
-        if service is None:
+        if self._cascading == service_name:
             return
+        row = self.store.remove_record(service_name, origin=self.replica)
+        if service is None and row is None:
+            return  # never a generated service (agent, inquiry, ...)
+        key = service.uddi_service_key if service is not None \
+            else row["uddi_service_key"]
         try:
-            self.uddi.delete_service(service.uddi_service_key)
+            self.uddi.delete_service(key)
         except UddiError:
             pass  # already unpublished by an explicit teardown
 
+    def _on_store_removed(self, service_name: str) -> None:
+        """Another replica undeployed: drop local surfaces only."""
+        self._cascading = service_name
+        try:
+            try:
+                self.soap_server.undeploy(service_name)  # fires caches
+            except ServiceNotFound:
+                self.services.pop(service_name, None)
+                self.runtimes.pop(service_name, None)
+        finally:
+            self._cascading = None
+
+    def _on_store_republished(self, service_name: str) -> None:
+        """Another replica replaced the bytes/spec: drop any stale local
+        materialization (the next request rebuilds from the fresh row)
+        and invalidate this replica's client caches."""
+        self._on_store_removed(service_name)
+        for listener in list(self._republish_listeners):
+            listener(service_name)
+
     def undeploy_service(self, service_name: str) -> Process:
-        """Remove a generated service everywhere (SOAP, UDDI, DB)."""
+        """Remove a generated service everywhere (SOAP, UDDI, DB).
+
+        Works from any replica: if the service was never materialized
+        here, the store record is removed directly (fanning the drop out
+        to whichever replicas do hold it) and UDDI is unpublished.
+        """
         service = self.get_service(service_name)
 
         def op() -> Generator[Event, None, None]:
-            # The undeploy listener handles UDDI + registry cleanup.
-            self.soap_server.undeploy(service_name)
+            try:
+                # The undeploy listener handles UDDI + registry cleanup.
+                self.soap_server.undeploy(service_name)
+            except ServiceNotFound:
+                # Record-only on this replica: do the global cleanup
+                # directly; holders drop via the store fan-out.
+                self.store.remove_record(service_name, origin=self.replica)
+                try:
+                    self.uddi.delete_service(service.uddi_service_key)
+                except UddiError:
+                    pass
             yield self.dbmanager.delete_executable(service.executable_name)
 
         return self.sim.process(op(), name=f"undeploy:{service_name}")
@@ -604,6 +770,15 @@ class OnServeStack:
             self._portal = CyberaidePortal(self.onserve)
         return self._portal
 
+    def inquiry_endpoint(self) -> str:
+        """Where clients reach the UDDI inquiry service.
+
+        The fabric stack overrides this to the router endpoint so
+        discovery traffic spreads over the replicas too.
+        """
+        from repro.ws.uddi_service import UddiInquiryService
+        return self.soap_server.endpoint_for(UddiInquiryService.SERVICE_NAME)
+
     def enable_client_caches(self, ttl: Optional[float] = None,
                              enabled: bool = True) -> List:
         """Attach a discovery/WSDL/stub cache to every user client.
@@ -614,17 +789,39 @@ class OnServeStack:
         contract of DESIGN.md §9.  Returns the caches (one per client).
         ``enabled=False`` attaches inert caches, which the golden-series
         guard uses to prove attachment alone cannot perturb a run.
+
+        Idempotent: calling it again *replaces* the previous caches —
+        the old ones are detached from every client and every hook, so
+        repeated enabling can never stack stale caches or double-fire
+        invalidation listeners.
         """
         from repro.ws.cache import ClientCache
+        self._detach_client_caches()
         caches = []
         for client in self.user_clients:
             kwargs = {} if ttl is None else {"ttl": ttl}
             cache = ClientCache(self.sim, enabled=enabled, **kwargs)
             client.cache = cache
-            self.soap_server.on_undeploy(cache.invalidate_service)
-            self.onserve.on_republish(cache.invalidate_service)
+            self._attach_cache_hooks(cache)
             caches.append(cache)
+        self._client_caches = caches
         return caches
+
+    def _attach_cache_hooks(self, cache) -> None:
+        """Wire one cache into the invalidation hooks (overridable)."""
+        self.soap_server.on_undeploy(cache.invalidate_service)
+        self.onserve.on_republish(cache.invalidate_service)
+
+    def _detach_cache_hooks(self, cache) -> None:
+        self.soap_server.remove_undeploy_listener(cache.invalidate_service)
+        self.onserve.remove_republish_listener(cache.invalidate_service)
+
+    def _detach_client_caches(self) -> None:
+        for cache in getattr(self, "_client_caches", []):
+            self._detach_cache_hooks(cache)
+        for client in self.user_clients:
+            client.cache = None
+        self._client_caches = []
 
     @property
     def appliance_host(self) -> Host:

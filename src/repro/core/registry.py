@@ -1,0 +1,312 @@
+"""ServiceStateStore: service/deployment state externalized to the DB tier.
+
+Before the appliance sharded, :class:`~repro.core.onserve.OnServe` kept
+everything that describes a deployed service in process-local dicts —
+``services``, ``runtimes``, staged-copy digests, the agent-session
+lease.  That made the appliance stateful: only the process that
+generated a service could serve it.  The fabric refactor moves the
+*source of truth* into tables of the shared :mod:`repro.db` engine, so
+that N stateless replicas over one DB tier all see the same state and a
+service deployed through replica A is servable by replica B.
+
+Tables
+------
+``service_records``
+    One row per generated service: naming, public endpoint, UDDI keys,
+    archive size, creation time, invocation count, and the generating
+    replica (placement provenance; UDDI remains the *placement* source
+    of truth clients resolve through).
+``staged_copies``
+    Which (site, path) on the grid holds which payload digest.  A copy
+    staged by any replica is on the site for every replica, so this is
+    naturally fabric-global state.
+``agent_leases``
+    The MyProxy-backed agent session per (replica, username).  Sessions
+    are minted by each replica's own agent, so the lease key includes
+    the replica — but the lease itself lives in the DB tier, surviving
+    a replica process restart.
+
+Purity contract
+---------------
+Every store operation is pure bookkeeping: rows change, the WAL grows,
+telemetry may observe — but **no simulation events are created and no
+simulated time passes**.  Metadata rows are tiny and ride along the
+disk/CPU charges the surrounding operations already pay (the same rule
+``OnServe.record_invocation`` follows), which is what keeps the
+``replicas=1`` fabric byte-identical to the pre-fabric appliance.
+
+Cross-replica invalidation rides on the store: each replica subscribes
+``on_removed`` / ``on_republished`` listeners, and the replica that
+performs an undeploy or replacement upload fires them (minus itself) so
+every other replica drops or refreshes its write-through cache — the
+same contract the client caches follow one layer up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.datastructures import GeneratedService
+from repro.db.engine import Database
+from repro.db.sql import execute_sql
+from repro.db.table import Column
+from repro.errors import RecordNotFound
+
+__all__ = ["ServiceStateStore"]
+
+SERVICE_TABLE = "service_records"
+STAGED_TABLE = "staged_copies"
+LEASE_TABLE = "agent_leases"
+
+_SERVICE_SCHEMA = [
+    Column("service_name", "TEXT", primary_key=True),
+    Column("executable_name", "TEXT", nullable=False),
+    Column("endpoint", "TEXT", nullable=False),
+    Column("wsdl_location", "TEXT"),
+    Column("uddi_service_key", "TEXT"),
+    Column("uddi_binding_key", "TEXT"),
+    Column("archive_size", "INT", nullable=False),
+    Column("created_at", "REAL", nullable=False),
+    Column("invocations", "INT", nullable=False),
+    Column("replica", "TEXT", nullable=False),
+]
+
+_STAGED_SCHEMA = [
+    Column("key", "TEXT", primary_key=True),
+    Column("site", "TEXT", nullable=False),
+    Column("path", "TEXT", nullable=False),
+    Column("digest", "TEXT", nullable=False),
+    Column("replica", "TEXT", nullable=False),
+]
+
+_LEASE_SCHEMA = [
+    Column("key", "TEXT", primary_key=True),
+    Column("replica", "TEXT", nullable=False),
+    Column("username", "TEXT", nullable=False),
+    Column("session", "TEXT", nullable=False),
+    Column("expires", "REAL", nullable=False),
+]
+
+
+class ServiceStateStore:
+    """Replicated service state over the shared database engine."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        for table, schema in ((SERVICE_TABLE, _SERVICE_SCHEMA),
+                              (STAGED_TABLE, _STAGED_SCHEMA),
+                              (LEASE_TABLE, _LEASE_SCHEMA)):
+            if table not in db.tables:
+                db.create_table(table, schema)
+        #: Cross-replica cache-invalidation listeners, keyed by replica.
+        self._removed: Dict[str, Callable[[str], None]] = {}
+        self._republished: Dict[str, Callable[[str], None]] = {}
+        #: Shared monotonic counters (lazily seeded from history so an
+        #: appliance redeployed over recovered data resumes numbering).
+        self._invocation_counter: Optional[int] = None
+        self._tag_seq: Optional[int] = None
+
+    # -- replica subscription (cache invalidation fan-out) -------------------
+
+    def subscribe(self, replica: str,
+                  on_removed: Callable[[str], None],
+                  on_republished: Callable[[str], None]) -> None:
+        """Register *replica*'s invalidation hooks.
+
+        ``on_removed(service_name)`` fires when another replica removes
+        a record (undeploy); ``on_republished(service_name)`` when
+        another replica refreshes one in place (replacement upload).
+        """
+        self._removed[replica] = on_removed
+        self._republished[replica] = on_republished
+
+    def unsubscribe(self, replica: str) -> None:
+        self._removed.pop(replica, None)
+        self._republished.pop(replica, None)
+
+    def _fan_out(self, listeners: Dict[str, Callable[[str], None]],
+                 service_name: str, origin: Optional[str]) -> None:
+        for replica in sorted(listeners):
+            if replica != origin:
+                listeners[replica](service_name)
+
+    # -- service records ------------------------------------------------------
+
+    def put_record(self, service: GeneratedService, replica: str) -> None:
+        """Insert or replace the record for *service* (write-through)."""
+        with self.db.transaction():
+            self.db.delete_where(
+                SERVICE_TABLE,
+                lambda r: r["service_name"] == service.service_name)
+            self.db.insert(SERVICE_TABLE, [
+                service.service_name, service.executable_name,
+                service.endpoint, service.wsdl_location,
+                service.uddi_service_key, service.uddi_binding_key,
+                service.archive_size, service.created_at,
+                service.invocations, replica,
+            ])
+
+    def get_record(self, service_name: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self.db.get_by_pk(SERVICE_TABLE, service_name)
+        except RecordNotFound:
+            return None
+
+    def remove_record(self, service_name: str,
+                      origin: Optional[str] = None
+                      ) -> Optional[Dict[str, Any]]:
+        """Delete a record; returns the old row (None if absent).
+
+        When a row was actually removed, every *other* replica's
+        ``on_removed`` hook fires so write-through caches drop the
+        service everywhere.
+        """
+        row = self.get_record(service_name)
+        if row is None:
+            return None
+        self.db.delete_where(
+            SERVICE_TABLE, lambda r: r["service_name"] == service_name)
+        self._fan_out(self._removed, service_name, origin)
+        return row
+
+    def record_republished(self, service_name: str,
+                           origin: Optional[str] = None) -> None:
+        """Tell every other replica a service was refreshed in place."""
+        self._fan_out(self._republished, service_name, origin)
+
+    def all_records(self) -> List[Dict[str, Any]]:
+        rows = self.db.select(SERVICE_TABLE)
+        return sorted(rows, key=lambda r: r["service_name"])
+
+    def record_count(self) -> int:
+        return self.db.count(SERVICE_TABLE)
+
+    def bump_invocations(self, service_name: str) -> int:
+        row = self.get_record(service_name)
+        if row is None:
+            return 0
+        count = row["invocations"] + 1
+        self.db.update_where(SERVICE_TABLE, {"invocations": count},
+                             lambda r: r["service_name"] == service_name)
+        return count
+
+    @staticmethod
+    def rehydrate(row: Dict[str, Any]) -> GeneratedService:
+        """A :class:`GeneratedService` view of a store row."""
+        service = GeneratedService(
+            service_name=row["service_name"],
+            executable_name=row["executable_name"],
+            endpoint=row["endpoint"],
+            wsdl_location=row["wsdl_location"],
+            uddi_service_key=row["uddi_service_key"],
+            uddi_binding_key=row["uddi_binding_key"],
+            archive_size=row["archive_size"],
+            created_at=row["created_at"])
+        service.invocations = row["invocations"]
+        return service
+
+    # -- staged grid copies ---------------------------------------------------
+
+    @staticmethod
+    def _staged_key(site: str, path: str) -> str:
+        return f"{site}|{path}"
+
+    def staged_digest(self, site: str, path: str) -> Optional[str]:
+        try:
+            return self.db.get_by_pk(
+                STAGED_TABLE, self._staged_key(site, path))["digest"]
+        except RecordNotFound:
+            return None
+
+    def mark_staged(self, site: str, path: str, digest: str,
+                    replica: str) -> None:
+        key = self._staged_key(site, path)
+        with self.db.transaction():
+            self.db.delete_where(STAGED_TABLE, lambda r: r["key"] == key)
+            self.db.insert(STAGED_TABLE, [key, site, path, digest, replica])
+
+    def evict_staged(self, path: str) -> int:
+        """Drop every site's copy of exactly *path* (replacement upload)."""
+        return self.db.delete_where(STAGED_TABLE,
+                                    lambda r: r["path"] == path)
+
+    def staged_copies(self) -> List[Tuple[str, str, str]]:
+        """(site, path, digest) rows, ordered (test/inspection hook)."""
+        rows = self.db.select(STAGED_TABLE)
+        return sorted((r["site"], r["path"], r["digest"]) for r in rows)
+
+    # -- agent-session leases -------------------------------------------------
+
+    @staticmethod
+    def _lease_key(replica: str, username: str) -> str:
+        return f"{replica}|{username}"
+
+    def get_lease(self, replica: str, username: str
+                  ) -> Optional[Tuple[str, float]]:
+        """(session, expires) for the replica's agent user, if leased."""
+        try:
+            row = self.db.get_by_pk(LEASE_TABLE,
+                                    self._lease_key(replica, username))
+        except RecordNotFound:
+            return None
+        return row["session"], row["expires"]
+
+    def put_lease(self, replica: str, username: str, session: str,
+                  expires: float) -> None:
+        key = self._lease_key(replica, username)
+        with self.db.transaction():
+            self.db.delete_where(LEASE_TABLE, lambda r: r["key"] == key)
+            self.db.insert(LEASE_TABLE,
+                           [key, replica, username, session, expires])
+
+    def drop_lease(self, replica: str, username: str,
+                   session: Optional[str] = None) -> None:
+        """Revoke the lease (matching *session* if given, else any)."""
+        key = self._lease_key(replica, username)
+        self.db.delete_where(
+            LEASE_TABLE,
+            lambda r: r["key"] == key and (session is None
+                                           or r["session"] == session))
+
+    # -- shared counters ------------------------------------------------------
+
+    def seed_counters(self) -> None:
+        """Seed both counters from recorded history, exactly once.
+
+        Called by each replica's init; only the first call (across the
+        fabric) reads MAX(id), so later replicas cannot rewind the
+        sequence below ids already handed out this run.
+        """
+        if self._invocation_counter is None:
+            self._invocation_counter = self._seed_counter()
+        if self._tag_seq is None:
+            self._tag_seq = self._invocation_counter
+
+    def _seed_counter(self) -> int:
+        if "invocations" not in self.db.tables:
+            return 0
+        row = execute_sql(self.db, "SELECT MAX(id) FROM invocations")[0]
+        return row["max(id)"] or 0
+
+    def next_invocation_id(self) -> int:
+        """Fabric-unique invocation row id (resumes past history)."""
+        if self._invocation_counter is None:
+            self._invocation_counter = self._seed_counter()
+        self._invocation_counter += 1
+        return self._invocation_counter
+
+    def next_tag_seq(self) -> int:
+        """Fabric-unique job-tag sequence number.
+
+        Job tags name stdout files on the grid: a tag reused by any
+        replica (or after a restart) would alias an old output file and
+        fool the outputReady probe, so the sequence is shared."""
+        if self._tag_seq is None:
+            self._tag_seq = self._seed_counter()
+        self._tag_seq += 1
+        return self._tag_seq
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<ServiceStateStore services={self.record_count()} "
+                f"staged={self.db.count(STAGED_TABLE)} "
+                f"replicas={sorted(self._removed)}>")

@@ -75,6 +75,10 @@ class Network:
         self._links: List[Link] = []
         self._adjacency: Dict[str, List[Link]] = {}
         self._hosts: set[str] = set()
+        # Route memo — purely an in-process speedup (routing is a pure
+        # function of the topology); invalidated whenever a link is
+        # added, so results are identical with or without it.
+        self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -94,6 +98,7 @@ class Network:
         self._links.append(link)
         self._adjacency[a].append(link)
         self._adjacency[b].append(link)
+        self._route_cache.clear()
         return link
 
     def hosts(self) -> List[str]:
@@ -113,6 +118,9 @@ class Network:
                 raise HardwareError(f"unknown host {host!r}")
         if src == dst:
             return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         # Deterministic BFS: neighbours explored in insertion order.
         frontier = [src]
         came_from: Dict[str, Tuple[str, Link]] = {}
@@ -134,6 +142,7 @@ class Network:
                             path.append(l)
                             cur = prev
                         path.reverse()
+                        self._route_cache[(src, dst)] = path
                         return path
                     nxt.append(other)
             frontier = nxt

@@ -22,6 +22,8 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.datapath` — grid data-path ablation:
   per-operation control path vs GridFTP session reuse + batched
   adaptive polling under per-site concurrency
+* :mod:`~repro.scenarios.scaleout` — replica fabric sweep: sharded
+  stateless appliances behind the request router, 1 → 16 replicas
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
@@ -33,6 +35,7 @@ from repro.scenarios.fig7 import Fig7Result, run_fig7
 from repro.scenarios.fig8 import Fig8Result, run_fig8
 from repro.scenarios.overhead import OverheadResult, run_overhead
 from repro.scenarios.scalability import ScalabilityResult, run_scalability
+from repro.scenarios.scaleout import ScaleoutResult, run_scaleout
 from repro.scenarios.smallfiles import SmallFilesResult, run_smallfiles
 from repro.scenarios.throughput import ThroughputResult, run_throughput
 
@@ -48,4 +51,5 @@ __all__ = [
     "FaultsResult", "run_faults",
     "ThroughputResult", "run_throughput",
     "DatapathResult", "run_datapath",
+    "ScaleoutResult", "run_scaleout",
 ]

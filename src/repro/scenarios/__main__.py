@@ -5,9 +5,10 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, faults, throughput, datapath, all.  ``--smoke`` shrinks
-the workloads that support it (currently ``bottleneck``, ``faults``,
-``throughput`` and ``datapath``) for fast CI validation.
+bottleneck, faults, throughput, datapath, scaleout, all.  ``--smoke``
+shrinks the workloads that support it (currently ``bottleneck``,
+``faults``, ``throughput``, ``datapath`` and ``scaleout``) for fast CI
+validation.
 """
 
 from __future__ import annotations
@@ -18,8 +19,8 @@ from typing import Callable, Dict
 
 from repro.scenarios import (
     run_bottleneck, run_datapath, run_faults, run_fig6, run_fig7,
-    run_fig8, run_overhead, run_scalability, run_smallfiles,
-    run_throughput,
+    run_fig8, run_overhead, run_scalability, run_scaleout,
+    run_smallfiles, run_throughput,
 )
 from repro.units import MB
 
@@ -80,6 +81,10 @@ def _datapath() -> str:
     return run_datapath(smoke=_SMOKE).render()
 
 
+def _scaleout() -> str:
+    return run_scaleout(smoke=_SMOKE).render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -91,6 +96,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "faults": _faults,
     "throughput": _throughput,
     "datapath": _datapath,
+    "scaleout": _scaleout,
 }
 
 

@@ -1,0 +1,314 @@
+"""The request router: one endpoint fronting N onServe replicas.
+
+The appliance sharding story (DESIGN.md §11): instead of one virtual
+appliance owning every SOAP dispatch, N stateless replicas share the DB
+tier and the UDDI registry, and a :class:`RequestRouter` on its own host
+is the single endpoint clients resolve.  Placement is a consistent-hash
+ring over service names (:class:`HashRing`), so a service's requests
+normally land on one replica — keeping its materialized runtime, staged
+copies and agent session warm — while replica join/leave moves only
+``1/N`` of the keyspace.
+
+Two deviations from the hash owner are allowed, in order:
+
+* **breaker-aware skip** — each replica has a circuit breaker; an open
+  circuit removes it from the candidate walk until the reset timeout,
+  so requests do not queue behind a dead replica, and
+* **least-loaded spill** — when the owner already has
+  ``spill_threshold`` requests in flight, the request goes to the
+  least-loaded live candidate instead (ties broken by ring preference,
+  keeping the choice deterministic).
+
+The router is itself a fabric target: it has a ``host``, a ``wsdl``
+and a ``transport``, so :class:`~repro.ws.client.WsClient` talks to it
+exactly as it would to a :class:`~repro.ws.server.SoapServer` — the
+extra hop is two real envelope transfers (client↔router) plus a small
+routing CPU charge, which is what ``benchmarks/bench_scaleout.py``
+bounds below 5% at ``replicas=1``.
+
+A *disabled* router can be constructed and wired without being
+registered in the fabric; it then owns no endpoint, routes nothing and
+creates zero simulation events — the attached-but-disabled guard in the
+golden tests proves the default single-appliance timeline cannot see it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.context import RequestContext, span
+from repro.errors import ServiceNotFound, SoapFault, WsError, is_retryable
+from repro.hardware.host import Host
+from repro.resilience.breaker import BreakerBoard
+from repro.simkernel.events import Event
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
+from repro.ws.server import SoapFabric, SoapServer
+from repro.ws.soap import SoapEnvelope
+from repro.ws.wsdl import generate_wsdl
+
+__all__ = ["HashRing", "RequestRouter", "Replica"]
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes (deterministic).
+
+    Keys and nodes hash through SHA-1, so placement is stable across
+    runs and processes — no dependence on Python's seeded ``hash()``.
+    With ``vnodes`` virtual points per node, removing one node of N
+    reassigns only ~``1/N`` of the keyspace, which the router tests
+    assert directly.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise WsError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted (point, node) pairs — the ring.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, bool] = {}
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int(hashlib.sha1(key.encode()).hexdigest()[:16], 16)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise WsError(f"node {node!r} already on the ring")
+        self._nodes[node] = True
+        for i in range(self.vnodes):
+            insort(self._points, (self._hash(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise WsError(f"node {node!r} not on the ring")
+        del self._nodes[node]
+        self._points = [(p, n) for p, n in self._points if n != node]
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def owner(self, key: str) -> str:
+        """The node owning *key* (first point clockwise of its hash)."""
+        preference = self.preference(key)
+        if not preference:
+            raise WsError("hash ring is empty")
+        return preference[0]
+
+    def preference(self, key: str) -> List[str]:
+        """Every node, ordered by ring distance from *key*.
+
+        The head is the owner; the tail is the fallback walk order used
+        when breakers skip nodes or load spills requests over.
+        """
+        if not self._points:
+            return []
+        start = bisect_right(self._points, (self._hash(key), chr(0x10FFFF)))
+        seen: List[str] = []
+        for i in range(len(self._points)):
+            node = self._points[(start + i) % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+
+class Replica:
+    """One onServe replica as the router sees it."""
+
+    __slots__ = ("name", "server", "onserve")
+
+    def __init__(self, name: str, server: SoapServer, onserve=None):
+        self.name = name
+        self.server = server
+        self.onserve = onserve
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Replica {self.name!r}>"
+
+
+class RequestRouter:
+    """Consistent-hash request routing over onServe replicas."""
+
+    #: CPU seconds to route one request (hash + table lookup + proxying
+    #: bookkeeping) — deliberately far below the container's own
+    #: PARSE+DISPATCH cost so the router never becomes the bottleneck.
+    ROUTE_CPU = 0.002
+
+    def __init__(self, host: Host, fabric: Optional[SoapFabric] = None,
+                 enabled: bool = True, spill_threshold: int = 4,
+                 vnodes: int = 64, breaker_failure_threshold: int = 3,
+                 breaker_reset_timeout: float = 60.0):
+        self.host = host
+        self.sim = host.sim
+        self.enabled = enabled
+        if spill_threshold < 1:
+            raise WsError("spill_threshold must be >= 1")
+        self.spill_threshold = spill_threshold
+        self.ring = HashRing(vnodes=vnodes)
+        self._replicas: Dict[str, Replica] = {}
+        self._inflight: Dict[str, int] = {}
+        #: Per-replica circuit breakers: an open circuit drops the
+        #: replica from the candidate walk until the reset timeout.
+        self.breakers = BreakerBoard(
+            self.sim, failure_threshold=breaker_failure_threshold,
+            reset_timeout=breaker_reset_timeout)
+        self.requests_routed = 0
+        self.rebalances = 0
+        self.bus = bus(self.sim)
+        board = gauges(self.sim)
+        self._queue_gauge = board.gauge("router.queue", unit="reqs")
+        self._board = board
+        # Only an *enabled* router owns an endpoint.  A disabled router
+        # stays out of the fabric entirely: nothing resolves to it,
+        # nothing routes through it, no timeline can be perturbed by it.
+        self.fabric = fabric
+        if fabric is not None and enabled:
+            fabric.register(self)
+
+    # -- replica membership ----------------------------------------------------
+
+    def add_replica(self, name: str, server: SoapServer,
+                    onserve=None) -> None:
+        if name in self._replicas:
+            raise WsError(f"replica {name!r} already registered")
+        self._replicas[name] = Replica(name, server, onserve)
+        self._inflight[name] = 0
+        self.ring.add(name)
+
+    def remove_replica(self, name: str) -> None:
+        if name not in self._replicas:
+            raise WsError(f"replica {name!r} not registered")
+        del self._replicas[name]
+        del self._inflight[name]
+        self.ring.remove(name)
+
+    def replicas(self) -> List[str]:
+        return sorted(self._replicas)
+
+    def inflight(self, name: str) -> int:
+        return self._inflight.get(name, 0)
+
+    # -- fabric-target surface (what WsClient needs) -----------------------------
+
+    def endpoint_for(self, service_name: str) -> str:
+        return f"{SoapFabric.SCHEME}{self.host.name}/{service_name}"
+
+    def wsdl(self, service_name: str) -> bytes:
+        """The service's WSDL, advertising the *router* endpoint.
+
+        The interface description comes from whichever replica holds
+        the deployed service; the endpoint is rewritten to the router's
+        so wsimport-generated stubs route instead of pinning a replica.
+        """
+        order = self.ring.preference(service_name) or self.replicas()
+        for name in order:
+            try:
+                svc = self._replicas[name].server.service(service_name)
+            except ServiceNotFound:
+                continue
+            return generate_wsdl(svc.description,
+                                 self.endpoint_for(service_name))
+        raise ServiceNotFound(
+            f"service {service_name!r} not deployed on any replica")
+
+    # -- routing -----------------------------------------------------------------
+
+    def choose(self, service_name: str) -> Replica:
+        """Pick the replica for one request (pure decision, no events).
+
+        Hash owner first; breaker-open replicas are skipped; an
+        overloaded owner spills to the least-loaded live candidate
+        (ties broken by ring preference, so the choice is a pure
+        function of ring + breakers + inflight counts).
+        """
+        order = self.ring.preference(service_name)
+        if not order:
+            raise WsError("router has no replicas")
+        live = [n for n in order if self.breakers.allow(n)]
+        if not live:
+            raise WsError(
+                f"no live replica for {service_name!r} "
+                f"({len(order)} registered, all circuits open)")
+        owner = live[0]
+        chosen = owner
+        if self._inflight[owner] >= self.spill_threshold:
+            chosen = min(live, key=lambda n: (self._inflight[n],
+                                              live.index(n)))
+        if chosen != owner or owner != order[0]:
+            # Deviated from the pure hash owner: spilled on load and/or
+            # skipped an open breaker.
+            self.rebalances += 1
+            self._board.gauge("router.rebalances").set(self.rebalances)
+            self.bus.emit("router.rebalance", layer="ws",
+                          service=service_name, owner=order[0],
+                          chosen=chosen,
+                          reason=("breaker" if owner != order[0]
+                                  else "load"))
+        return self._replicas[chosen]
+
+    def transport(self, client: Host, service_name: str, operation: str,
+                  params: Dict[str, Any],
+                  ctx: Optional[RequestContext] = None,
+                  ) -> Generator[Event, None, Any]:
+        """The routed wire round-trip (client ↔ router ↔ replica).
+
+        Mirrors :meth:`SoapServer.transport`'s contract so WsClient and
+        generated stubs work unchanged: the request envelope travels
+        client→router, the router charges its routing CPU, picks a
+        replica, (lazily) materializes the service there, proxies the
+        call over the router↔replica links, and relays the response —
+        or the fault envelope — back to the client.
+        """
+        request = SoapEnvelope.request(operation, params,
+                                       namespace=f"urn:repro:{service_name}")
+        yield client.send(self.host, request.size(),
+                          label=f"route-req:{service_name}.{operation}")
+        yield self.host.compute(self.ROUTE_CPU, tag="router")
+        replica = self.choose(service_name)
+        self.requests_routed += 1
+        self._inflight[replica.name] += 1
+        self._queue_gauge.adjust(1)
+        replica_gauge = self._board.gauge(
+            f"router.{replica.name}.inflight", unit="reqs")
+        replica_gauge.set(self._inflight[replica.name])
+        try:
+            with span(ctx, "router:route", replica=replica.name,
+                      service=service_name):
+                if replica.onserve is not None:
+                    # Deploy-on-A / invoke-on-B: build the runtime from
+                    # the store before dispatching (free when local).
+                    yield from replica.onserve.ensure_local_service(
+                        service_name, ctx)
+                result = yield from replica.server.transport(
+                    self.host, service_name, operation, params, ctx)
+        except SoapFault as fault:
+            if is_retryable(fault):
+                self.breakers.failure(replica.name)
+            else:
+                self.breakers.success(replica.name)
+            envelope = SoapEnvelope.fault_response(fault)
+            yield self.host.send(client, envelope.size(),
+                                 label=f"route-fault:{service_name}"
+                                       f".{operation}")
+            raise
+        finally:
+            self._inflight[replica.name] -= 1
+            self._queue_gauge.adjust(-1)
+            replica_gauge.set(self._inflight[replica.name])
+        self.breakers.success(replica.name)
+        response = SoapEnvelope.response(operation, result)
+        yield self.host.send(client, response.size(),
+                             label=f"route-rsp:{service_name}.{operation}")
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<RequestRouter replicas={self.replicas()} "
+                f"routed={self.requests_routed} "
+                f"rebalances={self.rebalances}>")

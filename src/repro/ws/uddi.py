@@ -165,6 +165,11 @@ class UddiRegistry:
         return sorted((b for b in self._businesses.values()
                        if rx.match(b.name)), key=lambda b: b.name)
 
+    def find_tmodel(self, name_pattern: str = "%") -> List[TModel]:
+        rx = _pattern_to_regex(name_pattern)
+        return sorted((t for t in self._tmodels.values()
+                       if rx.match(t.name)), key=lambda t: t.name)
+
     def find_service(self, name_pattern: str = "%",
                      business_key: Optional[str] = None) -> List[BusinessService]:
         rx = _pattern_to_regex(name_pattern)

@@ -1,0 +1,143 @@
+"""Integration tests for the replica fabric (deploy_fabric + store)."""
+
+import pytest
+
+from repro.core.fabric import FabricStack, deploy_fabric
+from repro.core.invocation import discover_and_invoke
+from repro.core.onserve import OnServeConfig
+from repro.errors import OnServeError
+from repro.grid.testbed import build_testbed
+from repro.simkernel import Simulator
+from repro.units import KB
+from repro.workloads.executables import make_payload
+
+
+def deploy(replicas=3, n_users=3, router=None, config=None, seed=0):
+    sim = Simulator(seed=seed)
+    testbed = build_testbed(sim=sim, n_users=n_users)
+    stack = sim.run(until=deploy_fabric(testbed, config or OnServeConfig(),
+                                        replicas=replicas, router=router))
+    return sim, testbed, stack
+
+
+def publish(sim, testbed, stack, filename="route.bin", runtime="2"):
+    payload = make_payload("fixed", size=int(KB(32)), runtime=runtime,
+                           output_bytes="64")
+    return sim.run(until=stack.portal.upload_and_generate(
+        testbed.user_hosts[0], filename, payload))
+
+
+def test_replicas_must_be_positive():
+    sim = Simulator(seed=0)
+    testbed = build_testbed(sim=sim, n_users=1)
+    with pytest.raises(OnServeError):
+        deploy_fabric(testbed, replicas=0)
+
+
+def test_single_replica_passthrough_keeps_direct_endpoints():
+    sim, testbed, stack = deploy(replicas=1)
+    assert isinstance(stack, FabricStack)
+    assert not stack.router.enabled
+    assert stack.replica_hosts[0] is stack.appliance_host
+    service = publish(sim, testbed, stack)
+    # Router off: services publish the appliance's own endpoint and
+    # nothing routes through the (attached-but-disabled) router.
+    assert service.endpoint.startswith("soap://appliance/")
+    result = sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[0], "Route%"))
+    assert result
+    assert stack.router.requests_routed == 0
+
+
+def test_fabric_publishes_router_endpoint():
+    sim, testbed, stack = deploy(replicas=2)
+    service = publish(sim, testbed, stack)
+    assert service.endpoint == "soap://router/RouteService"
+    row = stack.store.get_record("RouteService")
+    assert row["endpoint"] == "soap://router/RouteService"
+    assert row["replica"] == "appliance"
+
+
+def test_deploy_on_primary_invoke_anywhere():
+    sim, testbed, stack = deploy(replicas=3)
+    publish(sim, testbed, stack)
+    # Force materialization on a replica that did not generate the
+    # service: the store row + DB executable are enough to rebuild.
+    other = stack.onserves[2]
+    assert "RouteService" not in other.services
+    sim.run(until=sim.process(
+        other.ensure_local_service("RouteService")))
+    assert "RouteService" in other.services
+    assert "RouteService" in other.soap_server.services()
+    # And the routed client path works end to end.
+    result = sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[1], "Route%"))
+    assert result
+    assert stack.router.requests_routed > 0
+
+
+def test_materialized_replica_serves_without_republishing(monkeypatch):
+    sim, testbed, stack = deploy(replicas=2)
+    publish(sim, testbed, stack)
+    # Materialization must not touch UDDI: placement truth stays put.
+    before = sim.run(until=stack.user_clients[0].call(
+        stack.inquiry_endpoint(), "findService", pattern="Route%"))
+    sim.run(until=sim.process(
+        stack.onserves[1].ensure_local_service("RouteService")))
+    after = sim.run(until=stack.user_clients[0].call(
+        stack.inquiry_endpoint(), "findService", pattern="Route%"))
+    assert before == after
+
+
+def test_cross_replica_undeploy_invalidates_everywhere():
+    sim, testbed, stack = deploy(replicas=3)
+    publish(sim, testbed, stack)
+    sim.run(until=sim.process(
+        stack.onserves[1].ensure_local_service("RouteService")))
+    # Undeploy through a replica that never materialized the service.
+    sim.run(until=stack.onserves[2].undeploy_service("RouteService"))
+    assert stack.store.get_record("RouteService") is None
+    for onserve in stack.onserves:
+        assert "RouteService" not in onserve.services
+        assert "RouteService" not in onserve.soap_server.services()
+
+
+def test_replacement_upload_drops_stale_materializations():
+    sim, testbed, stack = deploy(replicas=2)
+    publish(sim, testbed, stack)
+    sim.run(until=sim.process(
+        stack.onserves[1].ensure_local_service("RouteService")))
+    assert "RouteService" in stack.onserves[1].services
+    # Re-uploading the same filename republishes in place on the
+    # primary; the store fan-out must drop replica 1's stale runtime.
+    publish(sim, testbed, stack)
+    assert "RouteService" not in stack.onserves[1].services
+    assert "RouteService" not in stack.onserves[1].soap_server.services()
+    # It materializes again on demand, from the fresh record.
+    sim.run(until=sim.process(
+        stack.onserves[1].ensure_local_service("RouteService")))
+    assert "RouteService" in stack.onserves[1].services
+
+
+def test_invocation_counts_are_fabric_wide():
+    sim, testbed, stack = deploy(replicas=2)
+    publish(sim, testbed, stack)
+    for client in stack.user_clients[:2]:
+        sim.run(until=discover_and_invoke(stack, client, "Route%"))
+    row = stack.store.get_record("RouteService")
+    assert row["invocations"] == 2
+
+
+def test_enable_client_caches_is_idempotent():
+    sim, testbed, stack = deploy(replicas=2)
+    stack.enable_client_caches()
+    listeners = [len(o.soap_server._undeploy_listeners)
+                 for o in stack.onserves]
+    caches = [client.cache for client in stack.user_clients]
+    stack.enable_client_caches()
+    # Second call replaces the caches instead of stacking hook layers.
+    assert [len(o.soap_server._undeploy_listeners)
+            for o in stack.onserves] == listeners
+    assert all(client.cache is not None for client in stack.user_clients)
+    assert all(client.cache is not old
+               for client, old in zip(stack.user_clients, caches))

@@ -1,0 +1,159 @@
+"""Unit tests for the ServiceStateStore (externalized service state)."""
+
+from repro.core.datastructures import GeneratedService
+from repro.core.registry import ServiceStateStore
+from repro.db import DbManager
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+
+
+def make_store():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "appliance", net, HostSpec(cores=2))
+    return sim, ServiceStateStore(DbManager(host).db)
+
+
+def make_service(name="HelloService", invocations=0):
+    service = GeneratedService(
+        service_name=name, executable_name="hello.sh",
+        endpoint=f"soap://appliance/{name}",
+        wsdl_location=f"soap://appliance/{name}?wsdl",
+        uddi_service_key="S-1", uddi_binding_key="B-1",
+        archive_size=1024, created_at=1.5)
+    service.invocations = invocations
+    return service
+
+
+def test_record_roundtrip_and_rehydrate():
+    sim, store = make_store()
+    store.put_record(make_service(invocations=3), replica="appliance")
+    row = store.get_record("HelloService")
+    assert row["replica"] == "appliance"
+    back = ServiceStateStore.rehydrate(row)
+    assert back.service_name == "HelloService"
+    assert back.endpoint == "soap://appliance/HelloService"
+    assert back.archive_size == 1024
+    assert back.created_at == 1.5
+    assert back.invocations == 3
+
+
+def test_put_record_replaces_in_place():
+    sim, store = make_store()
+    store.put_record(make_service(), replica="appliance")
+    replacement = make_service()
+    replacement.archive_size = 2048
+    store.put_record(replacement, replica="appliance02")
+    assert store.record_count() == 1
+    row = store.get_record("HelloService")
+    assert row["archive_size"] == 2048
+    assert row["replica"] == "appliance02"
+
+
+def test_all_records_sorted_by_name():
+    sim, store = make_store()
+    for name in ("Zeta", "Alpha", "Mid"):
+        store.put_record(make_service(name), replica="appliance")
+    assert [r["service_name"] for r in store.all_records()] == \
+        ["Alpha", "Mid", "Zeta"]
+
+
+def test_remove_fans_out_to_other_replicas_only():
+    sim, store = make_store()
+    fired = []
+    store.subscribe("a", lambda n: fired.append(("a", "rm", n)),
+                    lambda n: fired.append(("a", "re", n)))
+    store.subscribe("b", lambda n: fired.append(("b", "rm", n)),
+                    lambda n: fired.append(("b", "re", n)))
+    store.put_record(make_service(), replica="a")
+    row = store.remove_record("HelloService", origin="a")
+    assert row["service_name"] == "HelloService"
+    assert fired == [("b", "rm", "HelloService")]
+    # Removing an absent record neither returns a row nor fans out.
+    fired.clear()
+    assert store.remove_record("HelloService", origin="a") is None
+    assert fired == []
+
+
+def test_republish_fans_out_minus_origin():
+    sim, store = make_store()
+    fired = []
+    store.subscribe("a", lambda n: fired.append("a"), lambda n: fired.append("a-re"))
+    store.subscribe("b", lambda n: fired.append("b"), lambda n: fired.append("b-re"))
+    store.record_republished("HelloService", origin="b")
+    assert fired == ["a-re"]
+    store.unsubscribe("a")
+    fired.clear()
+    store.record_republished("HelloService", origin="b")
+    assert fired == []
+
+
+def test_bump_invocations_persists():
+    sim, store = make_store()
+    store.put_record(make_service(), replica="a")
+    assert store.bump_invocations("HelloService") == 1
+    assert store.bump_invocations("HelloService") == 2
+    assert store.get_record("HelloService")["invocations"] == 2
+    assert store.bump_invocations("Ghost") == 0
+
+
+def test_staged_copies_are_fabric_global():
+    sim, store = make_store()
+    assert store.staged_digest("siteA", "/tmp/hello") is None
+    store.mark_staged("siteA", "/tmp/hello", "d1", replica="a")
+    store.mark_staged("siteB", "/tmp/hello", "d1", replica="b")
+    store.mark_staged("siteA", "/tmp/other", "d2", replica="a")
+    # Visible regardless of which replica staged the copy.
+    assert store.staged_digest("siteB", "/tmp/hello") == "d1"
+    # Restaging the same (site, path) replaces the digest.
+    store.mark_staged("siteA", "/tmp/hello", "d9", replica="b")
+    assert store.staged_digest("siteA", "/tmp/hello") == "d9"
+    # A replacement upload evicts every site's copy of that path.
+    assert store.evict_staged("/tmp/hello") == 2
+    assert store.staged_digest("siteA", "/tmp/hello") is None
+    assert store.staged_copies() == [("siteA", "/tmp/other", "d2")]
+
+
+def test_agent_leases_keyed_by_replica():
+    sim, store = make_store()
+    assert store.get_lease("a", "onserve") is None
+    store.put_lease("a", "onserve", "sess-1", expires=100.0)
+    store.put_lease("b", "onserve", "sess-2", expires=200.0)
+    assert store.get_lease("a", "onserve") == ("sess-1", 100.0)
+    assert store.get_lease("b", "onserve") == ("sess-2", 200.0)
+    # Dropping with a stale session id keeps the current lease.
+    store.drop_lease("a", "onserve", session="stale")
+    assert store.get_lease("a", "onserve") == ("sess-1", 100.0)
+    store.drop_lease("a", "onserve", session="sess-1")
+    assert store.get_lease("a", "onserve") is None
+    # Dropping without a session id revokes unconditionally.
+    store.drop_lease("b", "onserve")
+    assert store.get_lease("b", "onserve") is None
+
+
+def test_counters_monotonic_and_seed_once():
+    sim, store = make_store()
+    store.seed_counters()
+    first = store.next_invocation_id()
+    assert first == 1
+    assert store.next_invocation_id() == 2
+    # Tag sequence shares the seed but advances independently.
+    assert store.next_tag_seq() == 1
+    assert store.next_tag_seq() == 2
+    # Re-seeding later must never rewind ids already handed out.
+    store.seed_counters()
+    assert store.next_invocation_id() == 3
+    assert store.next_tag_seq() == 3
+
+
+def test_shared_store_single_schema():
+    """Two replicas over one Database share one set of tables."""
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "appliance", net, HostSpec(cores=2))
+    db = DbManager(host).db
+    store_a = ServiceStateStore(db)
+    store_b = ServiceStateStore(db)  # idempotent table creation
+    store_a.put_record(make_service(), replica="a")
+    assert store_b.get_record("HelloService") is not None

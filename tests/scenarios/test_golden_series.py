@@ -61,3 +61,42 @@ def test_goldens_unchanged_with_inert_cache_layer(name, monkeypatch):
     assert actual == golden, (
         f"{name} drifted with inert client caches attached — the "
         f"disabled cache layer perturbed the simulation")
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_idle_router_attached(name, monkeypatch):
+    """An attached-but-disabled request router must not perturb a run.
+
+    The replica-fabric determinism contract (DESIGN.md §11): a disabled
+    :class:`~repro.ws.router.RequestRouter` is constructed, ringed and
+    wired to the OnServe — exactly what ``deploy_fabric(replicas=1)``
+    does — but owns no fabric endpoint and creates zero simulation
+    events.  Re-running each figure with one attached must therefore
+    reproduce the committed goldens byte-for-byte.
+    """
+    import repro.scenarios.common as common
+    from repro.ws.router import RequestRouter
+
+    real_deploy = common.deploy_onserve
+
+    def attach_idle_router(ev):
+        if not ev._ok:
+            return
+        stack = ev._value
+        idle = RequestRouter(stack.appliance_host, stack.fabric,
+                             enabled=False)
+        idle.add_replica(stack.appliance_host.name, stack.soap_server,
+                         stack.onserve)
+        stack.onserve.router = idle
+
+    def routed_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+        proc.add_callback(attach_idle_router)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", routed_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with a disabled router attached — the idle "
+        f"routing layer perturbed the simulation")

@@ -1,0 +1,196 @@
+"""Unit tests for the request router and its consistent-hash ring."""
+
+import pytest
+
+from repro.errors import WsError
+from repro.hardware import Host, Network
+from repro.hardware.host import HostSpec
+from repro.simkernel import Simulator
+from repro.ws.router import HashRing, RequestRouter
+from repro.ws.server import SoapFabric
+
+
+# -- the ring ---------------------------------------------------------------
+
+KEYS = [f"Service{i:03d}" for i in range(200)]
+
+
+def ring_with(nodes, vnodes=64):
+    ring = HashRing(vnodes=vnodes)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+def test_ring_owner_is_preference_head():
+    ring = ring_with([f"r{i}" for i in range(1, 9)])
+    for key in KEYS:
+        order = ring.preference(key)
+        assert order[0] == ring.owner(key)
+        assert sorted(order) == ring.nodes()
+
+
+def test_ring_leave_moves_only_departed_nodes_keys():
+    nodes = [f"r{i}" for i in range(1, 9)]
+    ring = ring_with(nodes)
+    before = {key: ring.owner(key) for key in KEYS}
+    ring.remove("r3")
+    moved = [key for key in KEYS if ring.owner(key) != before[key]]
+    # Consistent hashing: exactly the departed node's keys remap.
+    assert set(moved) == {key for key in KEYS if before[key] == "r3"}
+    # ...and that is a small fraction of the keyspace (~1/8 expected).
+    assert len(moved) <= len(KEYS) // 2
+
+
+def test_ring_join_steals_only_what_it_now_owns():
+    ring = ring_with([f"r{i}" for i in range(1, 9)])
+    before = {key: ring.owner(key) for key in KEYS}
+    ring.add("r9")
+    moved = [key for key in KEYS if ring.owner(key) != before[key]]
+    assert all(ring.owner(key) == "r9" for key in moved)
+    assert 0 < len(moved) <= len(KEYS) // 2
+
+
+def test_ring_spread_is_roughly_uniform():
+    ring = ring_with([f"r{i}" for i in range(1, 5)])
+    per_node = {n: 0 for n in ring.nodes()}
+    for key in KEYS:
+        per_node[ring.owner(key)] += 1
+    assert all(count > 0 for count in per_node.values())
+
+
+def test_ring_rejects_duplicates_and_unknown():
+    ring = ring_with(["a"])
+    with pytest.raises(WsError):
+        ring.add("a")
+    with pytest.raises(WsError):
+        ring.remove("ghost")
+    with pytest.raises(WsError):
+        HashRing(vnodes=0)
+
+
+def test_empty_ring_has_no_owner():
+    ring = HashRing()
+    assert ring.preference("AnyService") == []
+    with pytest.raises(WsError):
+        ring.owner("AnyService")
+
+
+# -- routing decisions ------------------------------------------------------
+
+class _StubServer:
+    """Stands in for a SoapServer in pure choose() tests."""
+
+
+def make_router(n_replicas=3, **kw):
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "router", net, HostSpec(cores=4))
+    router = RequestRouter(host, **kw)
+    for i in range(1, n_replicas + 1):
+        router.add_replica(f"replica{i}", _StubServer())
+    return sim, router
+
+
+def test_choose_prefers_hash_owner_when_idle():
+    sim, router = make_router()
+    owner = router.ring.owner("HelloService")
+    assert router.choose("HelloService").name == owner
+    assert router.rebalances == 0
+
+
+def test_choose_spills_to_least_loaded_under_skew():
+    sim, router = make_router(spill_threshold=2)
+    order = router.ring.preference("HelloService")
+    owner, second, third = order
+    router._inflight[owner] = 2   # at threshold: must spill
+    router._inflight[second] = 1
+    router._inflight[third] = 0
+    assert router.choose("HelloService").name == third
+    assert router.rebalances == 1
+    # Ties break by ring preference, keeping the decision deterministic.
+    router._inflight[third] = 1
+    assert router.choose("HelloService").name == second
+
+
+def test_choose_skips_open_breaker():
+    sim, router = make_router(breaker_failure_threshold=2)
+    order = router.ring.preference("HelloService")
+    owner = order[0]
+    for _ in range(2):
+        router.breakers.failure(owner)
+    chosen = router.choose("HelloService")
+    assert chosen.name == order[1]
+    assert router.rebalances == 1
+
+
+def test_choose_raises_when_all_circuits_open():
+    sim, router = make_router(n_replicas=2, breaker_failure_threshold=1)
+    for name in router.replicas():
+        router.breakers.failure(name)
+    with pytest.raises(WsError):
+        router.choose("HelloService")
+
+
+def test_membership_bookkeeping():
+    sim, router = make_router(n_replicas=2)
+    assert router.replicas() == ["replica1", "replica2"]
+    with pytest.raises(WsError):
+        router.add_replica("replica1", _StubServer())
+    router.remove_replica("replica2")
+    assert router.replicas() == ["replica1"]
+    with pytest.raises(WsError):
+        router.remove_replica("replica2")
+    assert len(router.ring) == 1
+
+
+def test_disabled_router_owns_no_endpoint():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "router", net, HostSpec(cores=4))
+    fabric = SoapFabric()
+    router = RequestRouter(host, fabric, enabled=False)
+    router.add_replica("replica1", _StubServer())
+    with pytest.raises(WsError):
+        fabric.resolve(router.endpoint_for("HelloService"))
+
+
+def test_enabled_router_is_a_fabric_target():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, "router", net, HostSpec(cores=4))
+    fabric = SoapFabric()
+    router = RequestRouter(host, fabric, enabled=True)
+    server, service = fabric.resolve(router.endpoint_for("HelloService"))
+    assert server is router
+    assert service == "HelloService"
+
+
+# -- end-to-end determinism -------------------------------------------------
+
+def _routed_run():
+    from repro.core.fabric import deploy_fabric
+    from repro.core.invocation import discover_and_invoke
+    from repro.core.onserve import OnServeConfig
+    from repro.grid.testbed import build_testbed
+    from repro.telemetry.events import bus
+    from repro.units import KB
+    from repro.workloads.executables import make_payload
+
+    sim = Simulator(seed=0)
+    testbed = build_testbed(sim=sim, n_users=4)
+    stack = sim.run(until=deploy_fabric(testbed, OnServeConfig(),
+                                        replicas=2, spill_threshold=1))
+    payload = make_payload("fixed", size=int(KB(32)), runtime="3",
+                           output_bytes="64")
+    sim.run(until=stack.portal.upload_and_generate(
+        testbed.user_hosts[0], "route.bin", payload))
+    procs = [discover_and_invoke(stack, client, "Route%")
+             for client in stack.user_clients]
+    sim.run(until=sim.all_of(procs))
+    return (sim.now, stack.router.requests_routed,
+            stack.router.rebalances, dict(bus(sim).counts()))
+
+
+def test_routed_runs_are_trace_deterministic():
+    assert _routed_run() == _routed_run()
