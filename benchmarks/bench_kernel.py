@@ -1,0 +1,101 @@
+"""Sim-kernel throughput gate: events/sec + profiler tax (ROADMAP 4b).
+
+Drives a fixed 4-replica fabric workload through the kernel twice —
+bare, then with the :class:`~repro.telemetry.profiler.KernelProfiler`
+attached — and gates the two numbers million-invocation runs depend
+on:
+
+* the kernel sustains a floor of dispatched events per wall-clock
+  second (measured with the profiler attached, i.e. the pessimistic
+  number), and
+* attaching the profiler costs < 10% wall time over the bare run, so
+  leaving it on for every scale study is free-ish.
+
+The profiled run's report (throughput, simulation-vs-telemetry split,
+hottest handlers) is saved to ``benchmarks/reports/kernel.txt`` — the
+number EXPERIMENTS.md quotes for the observability tax.
+"""
+
+import time
+
+from repro.core.fabric import deploy_fabric
+from repro.core.invocation import discover_and_invoke
+from repro.core.onserve import OnServeConfig
+from repro.grid.testbed import build_testbed
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.profiler import KernelProfiler
+from repro.units import KB
+from repro.workloads.executables import make_payload
+
+REPLICAS = 4
+WORKERS = 6
+ROUNDS = 30          # invocations per worker
+#: Conservative floor — local runs sustain ~35-45k events/sec; CI boxes
+#: get an order of magnitude of headroom.
+EVENTS_PER_SECOND_FLOOR = 4_000
+PROFILER_OVERHEAD_CEILING = 0.10
+
+
+def _drive(profiled: bool):
+    """One deterministic fabric run; returns (wall_seconds, profiler)."""
+    sim = Simulator(seed=0)
+    testbed = build_testbed(sim=sim, n_sites=2, nodes_per_site=4,
+                            cores_per_node=8, n_users=WORKERS)
+    config = OnServeConfig(poll_interval=2.0)
+    stack = sim.run(until=deploy_fabric(testbed, config, replicas=REPLICAS,
+                                        router=True))
+    stack.enable_client_caches()
+    payload = make_payload("fixed", size=int(KB(64)), runtime="2",
+                           output_bytes=str(int(KB(4))))
+    for j in range(REPLICAS):
+        sim.run(until=stack.portal.upload_and_generate(
+            testbed.user_hosts[0], f"kern{j:02d}.bin", payload))
+
+    def worker(i):
+        client = stack.user_clients[i]
+        pattern = f"Kern{i % REPLICAS:02d}%"
+        for _ in range(ROUNDS):
+            yield discover_and_invoke(stack, client, pattern)
+
+    procs = [sim.process(worker(i), name=f"tenant:{i}")
+             for i in range(WORKERS)]
+    prof = KernelProfiler(sim).attach() if profiled else None
+    t0 = time.perf_counter()
+    sim.run(until=sim.all_of(procs))
+    wall = time.perf_counter() - t0
+    if prof is not None:
+        prof.detach()
+    return wall, prof
+
+
+def _best_of(n: int, profiled: bool):
+    """Min wall time over *n* runs (noise floor), last profiler kept."""
+    best, keep = float("inf"), None
+    for _ in range(n):
+        wall, prof = _drive(profiled)
+        if wall < best:
+            best, keep = wall, prof
+    return best, keep
+
+
+def test_kernel_events_per_second_floor(save_report):
+    wall, prof = _best_of(2, profiled=True)
+    header = (f"kernel throughput — {REPLICAS}-replica fabric, "
+              f"{WORKERS} tenants x {ROUNDS} invocations\n")
+    save_report("kernel", header + prof.report())
+    assert prof.events_dispatched > 10_000  # the workload is non-trivial
+    assert prof.events_per_second() >= EVENTS_PER_SECOND_FLOOR
+    # The split is measured, not residual noise: both halves are real.
+    assert prof.telemetry_seconds > 0
+    assert prof.simulation_seconds() > prof.telemetry_seconds
+
+
+def test_profiler_overhead_under_ceiling():
+    bare, _ = _best_of(3, profiled=False)
+    profiled, prof = _best_of(3, profiled=True)
+    overhead = profiled / bare - 1.0
+    print(f"\nprofiler overhead: bare={bare:.3f}s profiled={profiled:.3f}s "
+          f"(+{overhead:.1%}, ceiling {PROFILER_OVERHEAD_CEILING:.0%})")
+    # Identical deterministic timeline either way — only wall time moves.
+    assert prof.events_dispatched > 10_000
+    assert overhead < PROFILER_OVERHEAD_CEILING

@@ -24,10 +24,14 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
   adaptive polling under per-site concurrency
 * :mod:`~repro.scenarios.scaleout` — replica fabric sweep: sharded
   stateless appliances behind the request router, 1 → 16 replicas
+* :mod:`~repro.scenarios.controltower` — fleet observability: SLO
+  burn-rate alerts leading hard violations under injected outages,
+  hot-shard localization of skewed load, kernel profiling
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
 from repro.scenarios.common import ScenarioEnv, standard_env
+from repro.scenarios.controltower import ControlTowerResult, run_controltower
 from repro.scenarios.datapath import DatapathResult, run_datapath
 from repro.scenarios.faults import FaultsResult, run_faults
 from repro.scenarios.fig6 import Fig6Result, run_fig6
@@ -52,4 +56,5 @@ __all__ = [
     "ThroughputResult", "run_throughput",
     "DatapathResult", "run_datapath",
     "ScaleoutResult", "run_scaleout",
+    "ControlTowerResult", "run_controltower",
 ]

@@ -5,10 +5,10 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, faults, throughput, datapath, scaleout, all.  ``--smoke``
-shrinks the workloads that support it (currently ``bottleneck``,
-``faults``, ``throughput``, ``datapath`` and ``scaleout``) for fast CI
-validation.
+bottleneck, faults, throughput, datapath, scaleout, controltower, all.
+``--smoke`` shrinks the workloads that support it (currently
+``bottleneck``, ``faults``, ``throughput``, ``datapath``, ``scaleout``
+and ``controltower``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -18,8 +18,8 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_bottleneck, run_datapath, run_faults, run_fig6, run_fig7,
-    run_fig8, run_overhead, run_scalability, run_scaleout,
+    run_bottleneck, run_controltower, run_datapath, run_faults, run_fig6,
+    run_fig7, run_fig8, run_overhead, run_scalability, run_scaleout,
     run_smallfiles, run_throughput,
 )
 from repro.units import MB
@@ -85,6 +85,16 @@ def _scaleout() -> str:
     return run_scaleout(smoke=_SMOKE).render()
 
 
+def _controltower() -> str:
+    result = run_controltower(smoke=_SMOKE)
+    if not _SMOKE and not result.ok:
+        # The full run gates both control-plane claims: alert-leads-
+        # breach ordering and hot-shard localization.
+        print(result.render())
+        raise SystemExit(1)
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -97,6 +107,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "throughput": _throughput,
     "datapath": _datapath,
     "scaleout": _scaleout,
+    "controltower": _controltower,
 }
 
 

@@ -37,6 +37,10 @@ class Simulator:
         self.events_processed = 0
         self._trace = trace
         self._trace_log: list[tuple[float, str]] = []
+        #: Optional wall-clock profiler (telemetry.profiler) — when set,
+        #: callback execution is timed and attributed per process.  A
+        #: ``None`` check per step is the entire cost when detached.
+        self._profiler = None
 
     # -- event construction -------------------------------------------------
 
@@ -85,8 +89,12 @@ class Simulator:
         if self._trace:
             self._trace_log.append((when, repr(event)))
         callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
+        profiler = self._profiler
+        if profiler is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            profiler.run_callbacks(event, callbacks)
         if not event._ok and not event._defused:
             # Nobody handled the failure: surface it instead of silently
             # dropping it, mirroring SimPy's behaviour.

@@ -80,6 +80,10 @@ def _classify(name: str) -> str:
     if prefix == "agent":
         return ("agent/transfer" if "outputReady" in name
                 else "agent/compute")
+    if prefix == "router":
+        # hop self-time is the routed envelopes on the wire; route
+        # self-time is replica-side dispatch the route span brackets.
+        return "ws/transfer" if name == "router:hop" else "ws/compute"
     if prefix == "gridftp":
         return "grid/transfer"     # payload staging over the uplink
     if prefix == "gram":

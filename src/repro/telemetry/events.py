@@ -93,6 +93,11 @@ class EventBus:
         #: (callback, kinds-or-None) subscriber slots.
         self._subscribers: List[List[Any]] = []
         self.emitted = 0
+        #: Wall-clock profiler accounting recorder (None = off): when
+        #: set, the wall time spent inside :meth:`emit` — including
+        #: subscriber callbacks — is charged to the telemetry side of
+        #: the profiler's overhead split.
+        self.profiler = None
 
     # -- emission -----------------------------------------------------------
 
@@ -104,6 +109,8 @@ class EventBus:
         Purely observational: allocates no simulation events; subscriber
         callbacks run inline and must be observational too.
         """
+        profiler = self.profiler
+        t0 = profiler.clock() if profiler is not None else 0.0
         event = TelemetryEvent(self.sim.now, kind, layer, request_id, fields)
         self._ring.append(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
@@ -112,6 +119,8 @@ class EventBus:
             kinds = slot[1]
             if kinds is None or kind in kinds:
                 slot[0](event)
+        if profiler is not None:
+            profiler.telemetry_seconds += profiler.clock() - t0
         return event
 
     # -- subscription -------------------------------------------------------

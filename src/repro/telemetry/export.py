@@ -102,13 +102,28 @@ def prometheus_text(metrics: Optional[MetricsRegistry] = None,
             lines.append(f"{faults}{{{labels}}} {m.faults}")
 
     if board is not None:
-        for name in board.names():
-            gauge = board.gauge(name)
-            metric = "repro_" + _sanitize(name)
-            unit = f" ({gauge.series.unit})" if gauge.series.unit else ""
-            lines.append(f"# HELP {metric} Gauge {name}{unit}.")
+        # Group children by family: one HELP/TYPE header per family,
+        # one (possibly labelled) sample per child — the shape a stock
+        # Prometheus scraper expects for labelled series.
+        families: Dict[str, List[Any]] = {}
+        for key in board.names():
+            gauge = board.get(key)
+            families.setdefault(gauge.family, []).append(gauge)
+        for family in sorted(families):
+            children = families[family]
+            metric = "repro_" + _sanitize(family)
+            unit = (f" ({children[0].series.unit})"
+                    if children[0].series.unit else "")
+            lines.append(f"# HELP {metric} Gauge {family}{unit}.")
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {_fmt(gauge.current)}")
+            for gauge in children:
+                if gauge.labels:
+                    body = ",".join(
+                        f'{_sanitize(k)}="{_escape_label(v)}"'
+                        for k, v in sorted(gauge.labels.items()))
+                    lines.append(f"{metric}{{{body}}} {_fmt(gauge.current)}")
+                else:
+                    lines.append(f"{metric} {_fmt(gauge.current)}")
 
     if bus is not None and bus.counts():
         events = "repro_events_total"
@@ -214,6 +229,13 @@ def chrome_trace(contexts: Sequence[RequestContext],
     ``ts``/``dur`` (sim seconds x *time_scale*) and its meta as
     ``args``.  Open spans are skipped — a trace viewer cannot render
     events of unknown duration.
+
+    Fleet attribution rides on every event: ``args.principal`` is the
+    request's principal, and ``args.replica`` is inherited from the
+    nearest ancestor span that recorded one (the ``router:hop`` /
+    ``router:route`` spans), so replica-side spans of a routed request
+    carry the replica that served them without each layer knowing about
+    sharding.
     """
     events: List[Dict[str, Any]] = []
     for tid, ctx in enumerate(contexts, 1):
@@ -221,9 +243,19 @@ def chrome_trace(contexts: Sequence[RequestContext],
             "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
             "args": {"name": f"{ctx.request_id} ({ctx.principal})"},
         })
-        for _, node in ctx.root.walk():
+        # replica inherited along the DFS path, indexed by depth.
+        inherited: List[Optional[str]] = []
+        for depth, node in ctx.root.walk():
+            del inherited[depth:]
+            replica = node.meta.get("replica") or (
+                inherited[depth - 1] if depth else None)
+            inherited.append(replica)
             if not node.closed:
                 continue
+            args: Dict[str, Any] = {k: v for k, v in sorted(node.meta.items())}
+            args["principal"] = ctx.principal
+            if replica is not None:
+                args["replica"] = replica
             events.append({
                 "name": node.name,
                 "cat": node.name.split(":", 1)[0],
@@ -232,7 +264,7 @@ def chrome_trace(contexts: Sequence[RequestContext],
                 "tid": tid,
                 "ts": node.start * time_scale,
                 "dur": node.duration * time_scale,
-                "args": {k: v for k, v in sorted(node.meta.items())},
+                "args": args,
             })
     return json.dumps({"traceEvents": events,
                        "displayTimeUnit": "ms"}, indent=1)

@@ -1,0 +1,412 @@
+"""Fleet rollups: the control tower's view of a replicated appliance.
+
+A sharded deployment (DESIGN.md §11) turns one appliance timeline into
+N interleaved ones, and the existing per-operation metrics registries
+are per-container — nothing answers "which replica is melting?".  This
+module adds the missing aggregation axis on top of the event bus:
+
+* :class:`FleetRollup` — per-**replica**, per-**site** and
+  per-**principal** rollups (call/fault counts plus mergeable
+  :class:`~repro.telemetry.metrics.LatencyHistogram` s), fed by the
+  server-side ``ws.request`` stream's ``origin`` field and the grid
+  layer's ``gram.submit`` events, with live queue/inflight snapshots
+  read from the router;
+* :class:`HotShardDetector` — scores each replica's observed share of
+  recent load against its consistent-hash **ownership** share of the
+  ring.  A replica serving 3× the keyspace arc it owns is a *hot
+  shard*: the skew is in the key popularity, not the placement, and
+  rebalancing vnodes will not fix it.  Transitions emit
+  ``fleet.imbalance`` / ``fleet.balanced`` events naming the culprit;
+* :class:`ControlTower` — the one-handle bundle (SLO tracker + rollup
+  + detector + optional kernel profiler) a scenario attaches to a
+  fabric and reads a text dashboard from.
+
+Everything here is a pure observer: bus callbacks record in the
+emitter's frame, detector checks are amortized every ``check_every``
+samples, no simulation events are created — goldens stay byte-identical
+with the whole tower attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.telemetry.events import EventBus, TelemetryEvent, bus
+from repro.telemetry.metrics import LatencyHistogram
+from repro.telemetry.slo import BurnRule, SloSpec, SloTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+    from repro.telemetry.profiler import KernelProfiler
+    from repro.ws.router import RequestRouter
+
+__all__ = ["ReplicaStats", "FleetRollup", "HotShardDetector", "ControlTower"]
+
+
+class ReplicaStats:
+    """One rollup cell: calls, faults and latency for one aggregation key."""
+
+    __slots__ = ("key", "calls", "faults", "latency", "services")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.calls = 0
+        self.faults = 0
+        self.latency = LatencyHistogram()
+        #: service name -> calls served (popularity per replica).
+        self.services: Dict[str, int] = {}
+
+    def record(self, service: Optional[str], latency: float,
+               faulted: bool) -> None:
+        self.calls += 1
+        if faulted:
+            self.faults += 1
+        self.latency.observe(latency)
+        if service:
+            self.services[service] = self.services.get(service, 0) + 1
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.calls if self.calls else 0.0
+
+    def top_service(self) -> Optional[str]:
+        if not self.services:
+            return None
+        return min(self.services, key=lambda s: (-self.services[s], s))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<ReplicaStats {self.key!r} calls={self.calls} "
+                f"faults={self.faults}>")
+
+
+class FleetRollup:
+    """Per-replica / per-site / per-principal aggregation off the bus.
+
+    Replica attribution relies on the ``origin`` field the server-side
+    metrics interceptor stamps on ``ws.request`` events (the serving
+    host's name); site counts come from ``gram.submit``.  Histograms
+    are plain :class:`LatencyHistogram` s, so cross-replica views are
+    one ``merge`` away.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 router: Optional["RequestRouter"] = None):
+        self.sim = sim
+        self.router = router
+        self.bus: EventBus = bus(sim)
+        self.replicas: Dict[str, ReplicaStats] = {}
+        self.principals: Dict[str, ReplicaStats] = {}
+        self.sites: Dict[str, int] = {}
+        self.samples = 0
+        self._unsubscribe = self.bus.subscribe(
+            self._on_event, kinds=("ws.request", "gram.submit"))
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- recording ----------------------------------------------------------
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        if event.kind == "gram.submit":
+            site = event.get("site")
+            if site:
+                self.sites[site] = self.sites.get(site, 0) + 1
+            return
+        if event.get("side") != "server":
+            return
+        origin = event.get("origin")
+        if origin is None:
+            return
+        latency = float(event.get("latency", 0.0))
+        faulted = event.get("fault") is not None
+        service = event.get("service")
+        self.samples += 1
+        cell = self.replicas.get(origin)
+        if cell is None:
+            cell = self.replicas[origin] = ReplicaStats(origin)
+        cell.record(service, latency, faulted)
+        principal = event.get("principal")
+        if principal:
+            pcell = self.principals.get(principal)
+            if pcell is None:
+                pcell = self.principals[principal] = ReplicaStats(principal)
+            pcell.record(service, latency, faulted)
+
+    # -- aggregate views ----------------------------------------------------
+
+    def load_shares(self) -> Dict[str, float]:
+        """replica -> fraction of all recorded server-side calls."""
+        total = sum(cell.calls for cell in self.replicas.values())
+        if not total:
+            return {}
+        return {name: cell.calls / total
+                for name, cell in sorted(self.replicas.items())}
+
+    def merged_latency(self) -> LatencyHistogram:
+        """All replicas' histograms folded into one fleet-wide view."""
+        out = LatencyHistogram()
+        for name in sorted(self.replicas):
+            out.merge(self.replicas[name].latency)
+        return out
+
+    def inflight_snapshot(self) -> Dict[str, int]:
+        """replica -> requests in flight right now (via the router)."""
+        if self.router is None:
+            return {}
+        return {name: self.router.inflight(name)
+                for name in self.router.replicas()}
+
+    def table(self, ownership: Optional[Dict[str, float]] = None,
+              budgets: Optional[Dict[str, str]] = None) -> str:
+        """The per-replica dashboard table.
+
+        *ownership* (replica -> ring arc fraction) adds owned-vs-served
+        columns; *budgets* (replica -> text) appends a free-form column
+        (the scenario passes SLO budget strings).
+        """
+        shares = self.load_shares()
+        inflight = self.inflight_snapshot()
+        header = ["replica", "calls", "share", "inflight", "p95_s",
+                  "faults", "top_service"]
+        if ownership is not None:
+            header.insert(3, "owned")
+        if budgets is not None:
+            header.append("slo_budget")
+        rows = [tuple(header)]
+        for name in sorted(self.replicas):
+            cell = self.replicas[name]
+            row = [name, str(cell.calls), f"{shares.get(name, 0.0):.1%}",
+                   str(inflight.get(name, 0)),
+                   f"{cell.latency.quantile(0.95):.3f}",
+                   str(cell.faults), cell.top_service() or "-"]
+            if ownership is not None:
+                row.insert(3, f"{ownership.get(name, 0.0):.1%}")
+            if budgets is not None:
+                row.append(budgets.get(name, "-"))
+            rows.append(tuple(row))
+        widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+        return "\n".join(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<FleetRollup replicas={len(self.replicas)} "
+                f"samples={self.samples}>")
+
+
+class HotShardDetector:
+    """Key-popularity skew: served share vs owned share of the ring.
+
+    Consistent hashing balances *keyspace*; it cannot balance *key
+    popularity* — one hot service still lands all its requests on its
+    single hash owner.  The detector keeps a sliding window of recent
+    server-side requests and, every ``check_every`` samples, scores
+    each replica::
+
+        score(r) = served_share(r) / ring_ownership(r)
+
+    A score of 1.0 is perfect proportionality.  When the hottest
+    replica's score crosses ``threshold`` (with at least
+    ``min_samples`` in the window), a ``fleet.imbalance`` event names
+    it and its dominant service; dropping back below clears with
+    ``fleet.balanced``.  Scoring against ownership (not ``1/N``)
+    distinguishes *popularity skew* — fix by splitting/caching the hot
+    service — from mere vnode placement unevenness.
+    """
+
+    def __init__(self, sim: "Simulator", router: "RequestRouter",
+                 window: float = 600.0, check_every: int = 32,
+                 threshold: float = 2.0, min_samples: int = 50):
+        if threshold <= 1.0:
+            raise ValueError("hot-shard threshold must exceed 1.0")
+        self.sim = sim
+        self.router = router
+        self.window = window
+        self.check_every = check_every
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.bus: EventBus = bus(sim)
+        #: (ts, origin, service) samples inside the sliding window.
+        self._samples: Deque[Tuple[float, str, str]] = deque()
+        self._since_check = 0
+        self.checks = 0
+        #: Currently-flagged hot replica (None when balanced).
+        self.hot: Optional[str] = None
+        #: (ts, "hot"/"clear", replica, score) transition log.
+        self.transitions: List[Tuple[float, str, str, float]] = []
+        self._unsubscribe = self.bus.subscribe(self._on_request,
+                                               kinds=("ws.request",))
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- recording ----------------------------------------------------------
+
+    def _on_request(self, event: TelemetryEvent) -> None:
+        if event.get("side") != "server":
+            return
+        origin = event.get("origin")
+        if origin is None:
+            return
+        self._samples.append((event.ts, origin, event.get("service") or ""))
+        self._since_check += 1
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            self.check()
+
+    # -- scoring ------------------------------------------------------------
+
+    def _refresh(self, now: float) -> None:
+        horizon = now - self.window
+        samples = self._samples
+        while samples and samples[0][0] <= horizon:
+            samples.popleft()
+
+    def scores(self) -> Dict[str, float]:
+        """replica -> served-share / owned-share over the current window."""
+        self._refresh(self.sim.now)
+        total = len(self._samples)
+        if not total:
+            return {}
+        served: Dict[str, int] = {}
+        for _, origin, _service in self._samples:
+            served[origin] = served.get(origin, 0) + 1
+        ownership = self.router.ring.ownership()
+        out: Dict[str, float] = {}
+        for name, arc in ownership.items():
+            share = served.get(name, 0) / total
+            out[name] = share / arc if arc > 0 else 0.0
+        return out
+
+    def check(self) -> Optional[str]:
+        """Score now; emit on hot/clear transitions.  Returns the hot one."""
+        self.checks += 1
+        self._refresh(self.sim.now)
+        if len(self._samples) < self.min_samples:
+            return self.hot
+        scores = self.scores()
+        if not scores:
+            return self.hot
+        hottest = min(scores, key=lambda n: (-scores[n], n))
+        score = scores[hottest]
+        if score >= self.threshold and hottest != self.hot:
+            self.hot = hottest
+            service = self._dominant_service(hottest)
+            self.transitions.append((self.sim.now, "hot", hottest, score))
+            self.bus.emit("fleet.imbalance", layer="fleet",
+                          replica=hottest, score=round(score, 3),
+                          threshold=self.threshold,
+                          owned=round(self.router.ring.ownership()
+                                      .get(hottest, 0.0), 4),
+                          window_samples=len(self._samples),
+                          service=service)
+        elif self.hot is not None and scores.get(self.hot, 0.0) < self.threshold:
+            cleared, self.hot = self.hot, None
+            self.transitions.append(
+                (self.sim.now, "clear", cleared, scores.get(cleared, 0.0)))
+            self.bus.emit("fleet.balanced", layer="fleet", replica=cleared,
+                          score=round(scores.get(cleared, 0.0), 3))
+        return self.hot
+
+    def _dominant_service(self, replica: str) -> str:
+        counts: Dict[str, int] = {}
+        for _, origin, service in self._samples:
+            if origin == replica and service:
+                counts[service] = counts.get(service, 0) + 1
+        if not counts:
+            return ""
+        return min(counts, key=lambda s: (-counts[s], s))
+
+    def first_detection(self) -> Optional[Tuple[float, str]]:
+        """(ts, replica) of the first hot-shard flag, or ``None``."""
+        for ts, kind, replica, _score in self.transitions:
+            if kind == "hot":
+                return ts, replica
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<HotShardDetector hot={self.hot!r} checks={self.checks} "
+                f"window={len(self._samples)}>")
+
+
+class ControlTower:
+    """SLO tracker + fleet rollup + hot-shard detector, one handle.
+
+    The scenario-facing bundle: construct with the fabric's router and
+    the run's SLO specs, optionally attach the kernel profiler, read
+    :meth:`dashboard` at the end.  ``close()`` detaches every observer
+    (idempotent), which the attach-but-observe golden guard exercises.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 specs: Sequence[SloSpec] = (),
+                 rules: Optional[Sequence[BurnRule]] = None,
+                 router: Optional["RequestRouter"] = None,
+                 detector_window: float = 600.0,
+                 detector_threshold: float = 2.0,
+                 detector_min_samples: int = 50,
+                 detector_check_every: int = 32,
+                 profiler: Optional["KernelProfiler"] = None):
+        self.sim = sim
+        kwargs: Dict[str, Any] = {}
+        if rules is not None:
+            kwargs["rules"] = tuple(rules)
+        self.slo: Optional[SloTracker] = (
+            SloTracker(sim, specs, **kwargs) if specs else None)
+        self.fleet = FleetRollup(sim, router=router)
+        self.detector: Optional[HotShardDetector] = None
+        if router is not None:
+            self.detector = HotShardDetector(
+                sim, router, window=detector_window,
+                threshold=detector_threshold,
+                min_samples=detector_min_samples,
+                check_every=detector_check_every)
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach()
+
+    def close(self) -> None:
+        if self.slo is not None:
+            self.slo.close()
+        self.fleet.close()
+        if self.detector is not None:
+            self.detector.close()
+        if self.profiler is not None:
+            self.profiler.detach()
+
+    def dashboard(self) -> str:
+        """The control-tower text dashboard (per-replica + SLO tables)."""
+        sections: List[str] = []
+        ownership = None
+        if self.detector is not None:
+            ownership = self.detector.router.ring.ownership()
+        sections.append("== fleet ==")
+        sections.append(self.fleet.table(ownership=ownership))
+        if self.detector is not None:
+            hot = self.detector.hot
+            scores = self.detector.scores()
+            if scores:
+                worst = min(scores, key=lambda n: (-scores[n], n))
+                sections.append(
+                    f"hot shard: "
+                    + (f"{hot} (score {scores.get(hot, 0.0):.2f})"
+                       if hot else
+                       f"none (max {worst} at {scores[worst]:.2f})"))
+        if self.slo is not None:
+            sections.append("")
+            sections.append("== slo ==")
+            sections.append(self.slo.table())
+        if self.profiler is not None:
+            sections.append("")
+            sections.append("== kernel ==")
+            sections.append(self.profiler.report())
+        return "\n".join(sections)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        parts = [f"fleet={len(self.fleet.replicas)}r"]
+        if self.slo is not None:
+            parts.append(f"slo={len(self.slo.specs)}")
+        if self.detector is not None:
+            parts.append(f"hot={self.detector.hot!r}")
+        return f"<ControlTower {' '.join(parts)}>"

@@ -31,15 +31,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Gauge", "GaugeBoard", "gauges"]
 
 
+def _labels_key(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """The board key of a (possibly labelled) gauge.
+
+    Labelled gauges share a *family* name and differ by label set —
+    ``router.inflight{replica="appliance02"}`` — mirroring Prometheus
+    child series, so exporters can render one ``# TYPE`` header per
+    family with one labelled sample per child.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
 class Gauge:
     """One instantaneous level, recorded as a step series on change."""
 
-    __slots__ = ("sim", "series", "_current")
+    __slots__ = ("sim", "series", "_current", "family", "labels", "profiler")
 
-    def __init__(self, sim: "Simulator", name: str, unit: str = ""):
+    def __init__(self, sim: "Simulator", name: str, unit: str = "",
+                 labels: Optional[Dict[str, str]] = None):
         self.sim = sim
-        self.series = TimeSeries(name, unit=unit)
+        #: Family name without labels (what Prometheus calls the metric).
+        self.family = name
+        #: Label set distinguishing this child within its family.
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.series = TimeSeries(_labels_key(name, self.labels), unit=unit)
         self._current = 0.0
+        #: Wall-clock profiler accounting recorder (None = off).
+        self.profiler = None
 
     @property
     def current(self) -> float:
@@ -53,8 +74,15 @@ class Gauge:
         """Record *value* at the current simulated time (if it changed)."""
         if value == self._current and len(self.series):
             return
+        profiler = self.profiler
+        if profiler is None:
+            self._current = float(value)
+            self.series.append(self.sim.now, self._current)
+            return
+        t0 = profiler.clock()
         self._current = float(value)
         self.series.append(self.sim.now, self._current)
+        profiler.telemetry_seconds += profiler.clock() - t0
 
     def adjust(self, delta: float) -> None:
         """Shift the level by *delta* (e.g. +1 on enqueue, -1 on grant)."""
@@ -75,16 +103,32 @@ class GaugeBoard:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._gauges: Dict[str, Gauge] = {}
+        #: Propagated onto every new gauge (wall-clock accounting only).
+        self.profiler = None
 
-    def gauge(self, name: str, unit: str = "") -> Gauge:
-        """The (created-on-first-use) gauge called *name*."""
-        cell = self._gauges.get(name)
+    def gauge(self, name: str, unit: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        """The (created-on-first-use) gauge called *name*.
+
+        With *labels*, the gauge is one child of the ``name`` family,
+        keyed by its full ``name{label="value",...}`` form.
+        """
+        key = _labels_key(name, labels)
+        cell = self._gauges.get(key)
         if cell is None:
-            cell = self._gauges[name] = Gauge(self.sim, name, unit=unit)
+            cell = self._gauges[key] = Gauge(self.sim, name, unit=unit,
+                                             labels=labels)
+            cell.profiler = self.profiler
         return cell
 
-    def get(self, name: str) -> Optional[Gauge]:
-        return self._gauges.get(name)
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[Gauge]:
+        return self._gauges.get(_labels_key(name, labels))
+
+    def family(self, name: str) -> List[Gauge]:
+        """Every child gauge of family *name*, key-ordered."""
+        return [self._gauges[key] for key in sorted(self._gauges)
+                if self._gauges[key].family == name]
 
     def names(self) -> List[str]:
         return sorted(self._gauges)

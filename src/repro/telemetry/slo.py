@@ -1,0 +1,395 @@
+"""Service-level objectives: declarative targets, burn-rate alerting.
+
+The paper's SaaS promise (§VIII) is qualitative — the appliance "serves"
+its tenants.  TAAROA frames grid+SOA delivery in QoS/SLA terms instead:
+a tenant's experience is only acceptable while measurable objectives
+hold.  This module makes that operational for the replica fabric:
+
+* an :class:`SloSpec` declares objectives for a slice of traffic — an
+  **availability** target (fault-free fraction of requests) and/or a
+  **latency** objective (at least ``latency_quantile`` of requests
+  under ``latency_target`` seconds) — scoped by service-name pattern
+  and principal;
+* an :class:`SloTracker` subscribes to the run's
+  :class:`~repro.telemetry.events.EventBus` and maintains, per
+  objective, sliding-window good/bad counters over the alerting
+  windows *and* the long compliance window;
+* **multi-window burn-rate alerting** (:class:`BurnRule`): an alert
+  fires when the error budget is being consumed at ≥ ``factor`` times
+  the sustainable rate over *both* a short and a long window — the
+  short window makes the alert reset quickly after recovery, the long
+  one suppresses blips (the SRE-workbook shape: a fast 5m/1h page pair
+  plus a slow 6h ticket window).  Transitions emit typed ``slo.burn``
+  / ``slo.burn_clear`` events;
+* **hard violation** tracking: when compliance over the spec's
+  ``compliance_window`` actually drops below target, an
+  ``slo.violation`` event marks the moment the promise is broken —
+  the instant the burn alerts exist to pre-empt.
+
+Observational purity: the tracker records inside the emitter's stack
+frame, creates no simulation events and consumes no simulated time, so
+attaching it to any run — including the golden figure scenarios —
+cannot change a single timestamp.  Error-budget and burn gauges are
+quantized (``gauge_quantum``) so million-request runs do not accrete a
+gauge sample per request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import EventBus, TelemetryEvent, bus
+from repro.telemetry.gauges import gauges
+
+__all__ = ["SloSpec", "BurnRule", "SloTracker", "DEFAULT_BURN_RULES"]
+
+#: The SRE-workbook multi-window pairs: a fast page on the 5m/1h pair
+#: and a slow ticket on the 30m/6h pair.  Scenarios running compressed
+#: timelines pass their own scaled-down rules.
+DEFAULT_BURN_RULES: Tuple["BurnRule", ...] = ()
+
+
+class BurnRule:
+    """One multi-window burn-rate alerting rule.
+
+    Fires when the error budget burns at ≥ *factor* times the
+    sustainable rate over both windows.  ``burn = bad_fraction /
+    (1 - target)``: burn 1.0 consumes exactly the budget, burn 14.4
+    over an hour eats a 30-day budget's 2% in that hour.
+    """
+
+    __slots__ = ("short_window", "long_window", "factor", "severity")
+
+    def __init__(self, short_window: float, long_window: float,
+                 factor: float, severity: str = "page"):
+        if short_window <= 0 or long_window <= short_window:
+            raise ValueError("burn rule needs 0 < short_window < long_window")
+        if factor <= 0:
+            raise ValueError("burn factor must be positive")
+        self.short_window = short_window
+        self.long_window = long_window
+        self.factor = factor
+        self.severity = severity
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<BurnRule {self.severity} x{self.factor:g} "
+                f"{self.short_window:g}s/{self.long_window:g}s>")
+
+
+DEFAULT_BURN_RULES = (BurnRule(300.0, 3600.0, 14.4, "page"),
+                      BurnRule(1800.0, 21600.0, 6.0, "ticket"))
+
+
+class SloSpec:
+    """Declarative objectives for one slice of traffic.
+
+    *service* is an exact name, ``"*"`` for everything, or a UDDI-style
+    trailing-``%`` prefix pattern; *principal* is an exact name or
+    ``"*"``.  At least one objective (availability / latency) must be
+    declared.
+    """
+
+    __slots__ = ("name", "service", "principal", "availability",
+                 "latency_target", "latency_quantile", "compliance_window",
+                 "min_samples")
+
+    def __init__(self, name: str, service: str = "*", principal: str = "*",
+                 availability: Optional[float] = None,
+                 latency_target: Optional[float] = None,
+                 latency_quantile: float = 0.95,
+                 compliance_window: float = 21600.0,
+                 min_samples: int = 20):
+        if availability is None and latency_target is None:
+            raise ValueError(f"SLO {name!r} declares no objective")
+        for target in (availability,
+                       latency_quantile if latency_target is not None
+                       else None):
+            if target is not None and not 0.0 < target < 1.0:
+                raise ValueError(
+                    f"SLO {name!r} target {target!r} outside (0, 1)")
+        if latency_target is not None and latency_target <= 0:
+            raise ValueError(f"SLO {name!r} latency target must be positive")
+        if compliance_window <= 0:
+            raise ValueError(f"SLO {name!r} compliance window must be "
+                             f"positive")
+        self.name = name
+        self.service = service
+        self.principal = principal
+        self.availability = availability
+        self.latency_target = latency_target
+        self.latency_quantile = latency_quantile
+        self.compliance_window = compliance_window
+        #: Below this sample count, compliance is not judged (cold start).
+        self.min_samples = min_samples
+
+    def matches(self, service: Optional[str],
+                principal: Optional[str]) -> bool:
+        if self.service != "*":
+            if service is None:
+                return False
+            if self.service.endswith("%"):
+                if not service.startswith(self.service[:-1]):
+                    return False
+            elif service != self.service:
+                return False
+        if self.principal != "*" and principal != self.principal:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        objectives = []
+        if self.availability is not None:
+            objectives.append(f"avail>={self.availability:g}")
+        if self.latency_target is not None:
+            objectives.append(f"p{100 * self.latency_quantile:g}"
+                              f"<={self.latency_target:g}s")
+        return (f"<SloSpec {self.name!r} service={self.service!r} "
+                f"{' '.join(objectives)}>")
+
+
+class _WindowCounter:
+    """Good/bad counts over one sliding window of the event stream."""
+
+    __slots__ = ("window", "samples", "total", "bad")
+
+    def __init__(self, window: float):
+        self.window = window
+        self.samples: Deque[Tuple[float, int]] = deque()
+        self.total = 0
+        self.bad = 0
+
+    def record(self, ts: float, bad: int) -> None:
+        self.samples.append((ts, bad))
+        self.total += 1
+        self.bad += bad
+
+    def refresh(self, now: float) -> None:
+        horizon = now - self.window
+        samples = self.samples
+        while samples and samples[0][0] <= horizon:
+            _, bad = samples.popleft()
+            self.total -= 1
+            self.bad -= bad
+
+    def bad_fraction(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+
+class _Objective:
+    """One objective's counters + alert/violation state machine."""
+
+    __slots__ = ("kind", "target", "windows", "compliance", "alerting",
+                 "violated")
+
+    def __init__(self, kind: str, target: float, spec: SloSpec,
+                 rules: Sequence[BurnRule]):
+        self.kind = kind
+        self.target = target
+        #: window length -> counter (alert windows + compliance window).
+        self.windows: Dict[float, _WindowCounter] = {}
+        for rule in rules:
+            for w in (rule.short_window, rule.long_window):
+                self.windows.setdefault(w, _WindowCounter(w))
+        self.compliance = self.windows.setdefault(
+            spec.compliance_window, _WindowCounter(spec.compliance_window))
+        #: rule index -> currently-alerting flag.
+        self.alerting: List[bool] = [False] * len(rules)
+        self.violated = False
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def record(self, ts: float, bad: bool) -> None:
+        flag = 1 if bad else 0
+        for counter in self.windows.values():
+            counter.record(ts, flag)
+
+    def refresh(self, now: float) -> None:
+        for counter in self.windows.values():
+            counter.refresh(now)
+
+    def burn(self, window: float) -> float:
+        return self.windows[window].bad_fraction() / self.budget
+
+    def budget_remaining(self) -> float:
+        """Fraction of the compliance window's error budget left."""
+        return 1.0 - self.compliance.bad_fraction() / self.budget
+
+
+class SloTracker:
+    """Sliding-window SLO compliance + burn-rate alerting off the bus.
+
+    Subscribes to ``ws.request`` events (client side by default — the
+    tenant-facing latency includes the wire) and feeds every matching
+    spec's objectives.  Emits ``slo.burn`` / ``slo.burn_clear`` /
+    ``slo.violation`` / ``slo.violation_clear`` events and maintains
+    ``slo.budget`` / ``slo.burn_rate`` gauge families labelled by
+    ``slo`` / ``objective`` (/ ``window``).
+    """
+
+    def __init__(self, sim, specs: Sequence[SloSpec],
+                 rules: Sequence[BurnRule] = DEFAULT_BURN_RULES,
+                 side: str = "client", gauge_quantum: float = 1e-3):
+        self.sim = sim
+        self.specs = list(specs)
+        self.rules = list(rules)
+        self.side = side
+        self.gauge_quantum = gauge_quantum
+        self.bus: EventBus = bus(sim)
+        self._board = gauges(sim)
+        self._objectives: Dict[Tuple[str, str], _Objective] = {}
+        for spec in self.specs:
+            if spec.availability is not None:
+                self._objectives[(spec.name, "availability")] = _Objective(
+                    "availability", spec.availability, spec, self.rules)
+            if spec.latency_target is not None:
+                self._objectives[(spec.name, "latency")] = _Objective(
+                    "latency", spec.latency_quantile, spec, self.rules)
+        #: Chronological (ts, event-kind, slo, objective, severity) log —
+        #: the alert timeline scenarios build lead-time tables from.
+        self.transitions: List[Tuple[float, str, str, str, str]] = []
+        self.samples_recorded = 0
+        self._unsubscribe = self.bus.subscribe(self._on_request,
+                                               kinds=("ws.request",))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop observing (idempotent)."""
+        self._unsubscribe()
+
+    # -- recording ----------------------------------------------------------
+
+    def _on_request(self, event: TelemetryEvent) -> None:
+        if event.get("side") != self.side:
+            return
+        service = event.get("service")
+        principal = event.get("principal")
+        latency = float(event.get("latency", 0.0))
+        faulted = event.get("fault") is not None
+        now = event.ts
+        for spec in self.specs:
+            if not spec.matches(service, principal):
+                continue
+            if spec.availability is not None:
+                self._record(spec, "availability", now, faulted)
+            if spec.latency_target is not None:
+                self._record(spec, "latency", now,
+                             faulted or latency > spec.latency_target)
+
+    def _record(self, spec: SloSpec, kind: str, now: float,
+                bad: bool) -> None:
+        objective = self._objectives[(spec.name, kind)]
+        objective.record(now, bad)
+        self.samples_recorded += 1
+        self._evaluate(spec, kind, objective, now)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """Re-evaluate every objective at the current simulated time.
+
+        Recording already evaluates on each sample; this exists so a
+        scenario can refresh state after a quiet period (windows only
+        move when something asks).
+        """
+        for spec in self.specs:
+            for kind in ("availability", "latency"):
+                objective = self._objectives.get((spec.name, kind))
+                if objective is not None:
+                    self._evaluate(spec, kind, objective, self.sim.now)
+
+    def _evaluate(self, spec: SloSpec, kind: str, objective: _Objective,
+                  now: float) -> None:
+        objective.refresh(now)
+        for i, rule in enumerate(self.rules):
+            short_burn = objective.burn(rule.short_window)
+            long_burn = objective.burn(rule.long_window)
+            firing = (short_burn >= rule.factor and long_burn >= rule.factor)
+            if firing != objective.alerting[i]:
+                objective.alerting[i] = firing
+                event_kind = "slo.burn" if firing else "slo.burn_clear"
+                self.transitions.append(
+                    (now, event_kind, spec.name, kind, rule.severity))
+                self.bus.emit(
+                    event_kind, layer="slo", slo=spec.name, objective=kind,
+                    severity=rule.severity, factor=rule.factor,
+                    short_window=rule.short_window,
+                    long_window=rule.long_window,
+                    short_burn=round(short_burn, 4),
+                    long_burn=round(long_burn, 4),
+                    budget_remaining=round(objective.budget_remaining(), 4))
+            self._set_gauge(
+                "slo.burn_rate",
+                {"slo": spec.name, "objective": kind,
+                 "window": f"{rule.long_window:g}"}, long_burn)
+        compliance = objective.compliance
+        if compliance.total >= spec.min_samples:
+            good_fraction = 1.0 - compliance.bad_fraction()
+            violated = good_fraction < objective.target
+            if violated != objective.violated:
+                objective.violated = violated
+                event_kind = ("slo.violation" if violated
+                              else "slo.violation_clear")
+                self.transitions.append(
+                    (now, event_kind, spec.name, kind, "hard"))
+                self.bus.emit(
+                    event_kind, layer="slo", slo=spec.name, objective=kind,
+                    target=objective.target,
+                    compliance=round(good_fraction, 6),
+                    window=spec.compliance_window,
+                    samples=compliance.total)
+        self._set_gauge("slo.budget",
+                        {"slo": spec.name, "objective": kind},
+                        objective.budget_remaining())
+
+    def _set_gauge(self, family: str, labels: Dict[str, str],
+                   value: float) -> None:
+        """Quantized gauge update (bounded series growth on long runs)."""
+        quantum = self.gauge_quantum
+        if quantum > 0:
+            value = round(value / quantum) * quantum
+        self._board.gauge(family, unit="ratio", labels=labels).set(value)
+
+    # -- queries ------------------------------------------------------------
+
+    def objective(self, slo: str, kind: str) -> _Objective:
+        return self._objectives[(slo, kind)]
+
+    def first_transition(self, kind: str,
+                         slo: Optional[str] = None) -> Optional[float]:
+        """Timestamp of the first *kind* transition (optionally per SLO)."""
+        for ts, event_kind, name, _, _ in self.transitions:
+            if event_kind == kind and (slo is None or name == slo):
+                return ts
+        return None
+
+    def table(self) -> str:
+        """An aligned text table of every objective's current state."""
+        rows = [("slo", "objective", "target", "compliance", "budget",
+                 "state")]
+        for spec in self.specs:
+            for kind in ("availability", "latency"):
+                objective = self._objectives.get((spec.name, kind))
+                if objective is None:
+                    continue
+                compliance = objective.compliance
+                good = (1.0 - compliance.bad_fraction()
+                        if compliance.total else 1.0)
+                state = "VIOLATED" if objective.violated else (
+                    "burning" if any(objective.alerting) else "ok")
+                rows.append((spec.name, kind, f"{objective.target:.3f}",
+                             f"{good:.4f}",
+                             f"{objective.budget_remaining():6.1%}",
+                             state))
+        widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+        return "\n".join(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<SloTracker specs={len(self.specs)} "
+                f"samples={self.samples_recorded} "
+                f"transitions={len(self.transitions)}>")

@@ -46,7 +46,8 @@ class WsClient:
         #: Client-side interceptor chain around the wire round-trip.
         #: No fault translation here: faults must *raise* in the caller.
         self.pipeline = Pipeline([
-            MetricsInterceptor(self.sim, registry=self.metrics),
+            MetricsInterceptor(self.sim, registry=self.metrics,
+                               origin=host.name),
             TracingInterceptor(),
             DeadlineInterceptor(self.sim),
         ])

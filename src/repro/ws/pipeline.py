@@ -206,27 +206,36 @@ class MetricsInterceptor(Interceptor):
     Besides the histogram registry, every completed crossing is emitted
     on the simulator's :class:`~repro.telemetry.events.EventBus` as a
     ``ws.request`` event (service, operation, side, latency, fault,
-    request id) — the bus record that lets downstream analysis join a
-    SOAP request with the grid activity it caused.  Emission is pure
-    bookkeeping: no simulation events, no simulated time.
+    request id, origin host, principal) — the bus record that lets
+    downstream analysis join a SOAP request with the grid activity it
+    caused, and the fleet rollups attribute server-side load to the
+    replica (*origin*) that served it.  Emission is pure bookkeeping:
+    no simulation events, no simulated time.
     """
 
     name = "metrics"
 
     def __init__(self, sim: "Simulator",
                  registry: Optional[MetricsRegistry] = None,
-                 side: str = "server"):
+                 side: str = "server", origin: Optional[str] = None):
         self.sim = sim
         self.registry = registry if registry is not None \
             else MetricsRegistry(name=side)
+        #: Name of the host this pipeline end runs on (the replica name
+        #: on a sharded server side) — ``None`` when the owner predates
+        #: fleet attribution or has no host.
+        self.origin = origin
         self.bus = bus(sim)
 
     def _emit(self, inv: Invocation, latency: float,
               fault: Optional[str]) -> None:
+        ctx = inv.ctx
         self.bus.emit("ws.request", layer="ws",
-                      request_id=inv.ctx.request_id if inv.ctx else None,
+                      request_id=ctx.request_id if ctx else None,
                       service=inv.service_name, operation=inv.operation,
-                      side=inv.side, latency=latency, fault=fault)
+                      side=inv.side, latency=latency, fault=fault,
+                      origin=self.origin,
+                      principal=ctx.principal if ctx else None)
 
     def invoke(self, inv: Invocation, call_next: Continuation) -> Generator:
         started = self.sim.now

@@ -93,6 +93,28 @@ class HashRing:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    #: Size of the hash space (16 hex digits of SHA-1 = 64 bits).
+    SPACE = 1 << 64
+
+    def ownership(self) -> Dict[str, float]:
+        """node -> fraction of the keyspace its arcs cover.
+
+        Point ``p_i`` owns the arc ``(p_{i-1}, p_i]`` (keys map to the
+        first point clockwise), so summing each node's arcs — including
+        the wrap-around arc to the first point — yields its expected
+        share of *uniformly distributed* keys.  The hot-shard detector
+        scores observed load against this, so popularity skew stands
+        out from mere vnode placement unevenness.  Fractions sum to 1.
+        """
+        if not self._points:
+            return {}
+        out: Dict[str, float] = {node: 0.0 for node in self._nodes}
+        prev = self._points[-1][0] - self.SPACE
+        for point, node in self._points:
+            out[node] += (point - prev) / self.SPACE
+            prev = point
+        return out
+
     def owner(self, key: str) -> str:
         """The node owning *key* (first point clockwise of its hash)."""
         preference = self.preference(key)
@@ -268,44 +290,54 @@ class RequestRouter:
         """
         request = SoapEnvelope.request(operation, params,
                                        namespace=f"urn:repro:{service_name}")
-        yield client.send(self.host, request.size(),
-                          label=f"route-req:{service_name}.{operation}")
-        yield self.host.compute(self.ROUTE_CPU, tag="router")
-        replica = self.choose(service_name)
-        self.requests_routed += 1
-        self._inflight[replica.name] += 1
-        self._queue_gauge.adjust(1)
-        replica_gauge = self._board.gauge(
-            f"router.{replica.name}.inflight", unit="reqs")
-        replica_gauge.set(self._inflight[replica.name])
-        try:
-            with span(ctx, "router:route", replica=replica.name,
-                      service=service_name):
-                if replica.onserve is not None:
-                    # Deploy-on-A / invoke-on-B: build the runtime from
-                    # the store before dispatching (free when local).
-                    yield from replica.onserve.ensure_local_service(
-                        service_name, ctx)
-                result = yield from replica.server.transport(
-                    self.host, service_name, operation, params, ctx)
-        except SoapFault as fault:
-            if is_retryable(fault):
-                self.breakers.failure(replica.name)
-            else:
-                self.breakers.success(replica.name)
-            envelope = SoapEnvelope.fault_response(fault)
-            yield self.host.send(client, envelope.size(),
-                                 label=f"route-fault:{service_name}"
-                                       f".{operation}")
-            raise
-        finally:
-            self._inflight[replica.name] -= 1
-            self._queue_gauge.adjust(-1)
+        # The hop span brackets the *entire* routed exchange — request
+        # envelope in, routing decision, proxied call, response (or
+        # fault) relay out — so every replica-side span nests under one
+        # parent and a cross-replica trace reads as a single tree.
+        with span(ctx, "router:hop", router=self.host.name,
+                  service=service_name) as hop:
+            yield client.send(self.host, request.size(),
+                              label=f"route-req:{service_name}.{operation}")
+            yield self.host.compute(self.ROUTE_CPU, tag="router")
+            replica = self.choose(service_name)
+            if hop is not None:
+                hop.meta["replica"] = replica.name
+            self.requests_routed += 1
+            self._inflight[replica.name] += 1
+            self._queue_gauge.adjust(1)
+            replica_gauge = self._board.gauge(
+                "router.inflight", unit="reqs",
+                labels={"replica": replica.name})
             replica_gauge.set(self._inflight[replica.name])
-        self.breakers.success(replica.name)
-        response = SoapEnvelope.response(operation, result)
-        yield self.host.send(client, response.size(),
-                             label=f"route-rsp:{service_name}.{operation}")
+            try:
+                with span(ctx, "router:route", replica=replica.name,
+                          service=service_name):
+                    if replica.onserve is not None:
+                        # Deploy-on-A / invoke-on-B: build the runtime
+                        # from the store before dispatching (free when
+                        # local).
+                        yield from replica.onserve.ensure_local_service(
+                            service_name, ctx)
+                    result = yield from replica.server.transport(
+                        self.host, service_name, operation, params, ctx)
+            except SoapFault as fault:
+                if is_retryable(fault):
+                    self.breakers.failure(replica.name)
+                else:
+                    self.breakers.success(replica.name)
+                envelope = SoapEnvelope.fault_response(fault)
+                yield self.host.send(client, envelope.size(),
+                                     label=f"route-fault:{service_name}"
+                                           f".{operation}")
+                raise
+            finally:
+                self._inflight[replica.name] -= 1
+                self._queue_gauge.adjust(-1)
+                replica_gauge.set(self._inflight[replica.name])
+            self.breakers.success(replica.name)
+            response = SoapEnvelope.response(operation, result)
+            yield self.host.send(client, response.size(),
+                                 label=f"route-rsp:{service_name}.{operation}")
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

@@ -146,7 +146,8 @@ class SoapServer:
         self.pipeline = Pipeline([
             FaultTranslationInterceptor(
                 on_fault=lambda inv: self._count_fault(inv.service_name)),
-            MetricsInterceptor(self.sim, registry=self.metrics),
+            MetricsInterceptor(self.sim, registry=self.metrics,
+                               origin=host.name),
             self.admission,
             TracingInterceptor(),
             DeadlineInterceptor(self.sim),

@@ -100,3 +100,58 @@ def test_goldens_unchanged_with_idle_router_attached(name, monkeypatch):
     assert actual == golden, (
         f"{name} drifted with a disabled router attached — the idle "
         f"routing layer perturbed the simulation")
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_control_tower_attached(name, monkeypatch):
+    """An attached-but-observing control tower must not perturb a run.
+
+    The observability-plane determinism contract (DESIGN.md §12): the
+    SLO tracker, fleet rollup and kernel profiler record in emitter
+    stack frames and measure wall-clock only — zero simulation events,
+    zero simulated time.  Re-running each figure with a full tower
+    (SLO specs live, profiler hooks installed) must reproduce the
+    committed goldens byte-for-byte.
+    """
+    import repro.scenarios.common as common
+    from repro.telemetry.fleet import ControlTower
+    from repro.telemetry.profiler import KernelProfiler
+    from repro.telemetry.slo import BurnRule, SloSpec
+
+    real_deploy = common.deploy_onserve
+    towers = []
+
+    def attach_tower(ev):
+        if not ev._ok:
+            return
+        sim = ev._value.sim
+        specs = [SloSpec("golden-availability", availability=0.99,
+                         compliance_window=600.0, min_samples=1),
+                 SloSpec("golden-latency", latency_target=30.0,
+                         compliance_window=600.0, min_samples=1)]
+        towers.append(ControlTower(
+            sim, specs=specs, rules=(BurnRule(30.0, 120.0, 2.0),),
+            profiler=KernelProfiler(sim)))
+
+    def towered_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+        proc.add_callback(attach_tower)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", towered_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with the control tower attached — the "
+        f"observability plane perturbed the simulation")
+    # The tower actually observed the run (not vacuously pure).  fig8
+    # is upload+generate — no client-side ws.request stream — so the
+    # SLO sample check only applies where that stream exists.
+    from repro.telemetry.events import bus as telemetry_bus
+    assert towers
+    tower = towers[-1]
+    assert tower.profiler.events_dispatched > 0
+    requests = telemetry_bus(tower.sim).events("ws.request")
+    if any(ev.get("side") == "client" for ev in requests):
+        assert tower.slo.samples_recorded > 0
+    tower.close()

@@ -88,3 +88,29 @@ def test_emission_is_observationally_pure():
     # Nothing to run: the queue gained no events from emission.
     sim.run()
     assert sim.now == before
+
+
+def test_ring_eviction_with_subscriber_attached_mid_run():
+    """A late subscriber sees every future event, eviction or not.
+
+    The control tower attaches after warm-up traffic has already
+    rolled through (and possibly out of) the ring; subscribers are a
+    delivery path, not a ring view, so eviction of history must not
+    cost the late-comer a single future event.
+    """
+    sim = Simulator(seed=0)
+    b = EventBus(sim, capacity=4)
+    for i in range(6):  # 0,1 already evicted when we subscribe
+        b.emit("tick", i=i)
+    seen = []
+    unsub = b.subscribe(lambda ev: seen.append(ev.get("i")), kinds=["tick"])
+    for i in range(6, 16):
+        b.emit("tick", i=i)
+    # Delivered exactly once each, in order, across 3 ring generations.
+    assert seen == list(range(6, 16))
+    # The ring itself kept only the newest 4; counters stayed exact.
+    assert [ev.get("i") for ev in b] == [12, 13, 14, 15]
+    assert b.counts() == {"tick": 16}
+    unsub()
+    b.emit("tick", i=99)
+    assert seen[-1] == 15

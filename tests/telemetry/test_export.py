@@ -137,7 +137,7 @@ def test_chrome_trace_loads_and_uses_complete_events():
     put = by_name["gridftp:put"]
     assert put["ts"] == 1.0 * 1e6
     assert put["dur"] == 2.0 * 1e6
-    assert put["args"] == {"site": "anl"}
+    assert put["args"] == {"site": "anl", "principal": "user"}
     assert put["cat"] == "gridftp"
     outer = by_name["client:Svc.execute"]
     assert outer["dur"] == 3.5 * 1e6
@@ -152,3 +152,52 @@ def test_chrome_trace_multiple_requests_get_distinct_threads():
     names = [e["args"]["name"] for e in doc["traceEvents"]
              if e["name"] == "thread_name"]
     assert all("req-" in n for n in names)
+
+
+def test_labelled_gauge_family_renders_one_header_and_round_trips():
+    sim = Simulator(seed=0)
+    board = gauges(sim)
+    board.gauge("router.inflight", unit="reqs",
+                labels={"replica": "appliance02"}).set(3)
+    board.gauge("router.inflight", unit="reqs",
+                labels={"replica": "appliance"}).set(1)
+    board.gauge("plain.depth", unit="reqs").set(7)
+    text = prometheus_text(board=board)
+    # One TYPE header per family even with several labelled children.
+    assert text.count("# TYPE repro_router_inflight gauge") == 1
+    samples = parse_prometheus_text(text)
+    assert samples['repro_router_inflight{replica="appliance"}'] == 1
+    assert samples['repro_router_inflight{replica="appliance02"}'] == 3
+    assert samples["repro_plain_depth"] == 7
+
+
+def test_chrome_trace_inherits_replica_from_router_hop_ancestor():
+    sim = Simulator(seed=0)
+    ctx = RequestContext.create(sim, principal="tenant")
+
+    def op():
+        hop = ctx.begin_span("router:hop", router="router")
+        yield sim.timeout(0.5)
+        hop.meta["replica"] = "appliance03"
+        inner = ctx.begin_span("invoke:Svc.execute")
+        yield sim.timeout(1.0)
+        leaf = ctx.begin_span("gram-submit", site="anl")
+        yield sim.timeout(0.25)
+        ctx.end_span(leaf)
+        ctx.end_span(inner)
+        ctx.end_span(hop)
+        # A sibling *outside* the hop must not inherit its replica.
+        after = ctx.begin_span("client:cleanup")
+        ctx.end_span(after)
+
+    sim.run(until=sim.process(op()))
+    doc = json.loads(chrome_trace([ctx]))
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert by_name["router:hop"]["args"]["replica"] == "appliance03"
+    # Descendants inherit without carrying their own replica meta.
+    assert by_name["invoke:Svc.execute"]["args"]["replica"] == "appliance03"
+    assert by_name["gram-submit"]["args"]["replica"] == "appliance03"
+    assert by_name["gram-submit"]["args"]["site"] == "anl"
+    assert "replica" not in by_name["client:cleanup"]["args"]
+    # Principal rides on every event.
+    assert all(e["args"]["principal"] == "tenant" for e in by_name.values())

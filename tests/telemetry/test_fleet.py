@@ -1,0 +1,168 @@
+"""Unit tests for fleet rollups and the hot-shard detector."""
+
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.fleet import ControlTower, FleetRollup, HotShardDetector
+from repro.telemetry.slo import SloSpec
+from repro.ws.router import HashRing
+
+import pytest
+
+
+class _StubRouter:
+    """Just enough router surface for the fleet observers."""
+
+    def __init__(self, nodes, inflight=None):
+        self.ring = HashRing()
+        for node in nodes:
+            self.ring.add(node)
+        self._inflight = dict(inflight or {})
+
+    def replicas(self):
+        return sorted(self._inflight) or sorted(self.ring.ownership())
+
+    def inflight(self, name):
+        return self._inflight.get(name, 0)
+
+
+def _serve(sim, ts, origin, service="Svc", principal="u", latency=1.0,
+           fault=None):
+    def op():
+        if sim.now < ts:
+            yield sim.timeout(ts - sim.now)
+        fields = {"side": "server", "origin": origin, "service": service,
+                  "principal": principal, "latency": latency}
+        if fault is not None:
+            fields["fault"] = fault
+        bus(sim).emit("ws.request", layer="ws", **fields)
+
+    sim.run(until=sim.process(op()))
+
+
+# -- FleetRollup --------------------------------------------------------------
+
+def test_rollup_aggregates_by_replica_principal_and_site():
+    sim = Simulator(seed=0)
+    rollup = FleetRollup(sim)
+    b = bus(sim)
+    for origin, principal, fault in (("a", "u1", None), ("a", "u2", "Boom"),
+                                     ("b", "u1", None)):
+        b.emit("ws.request", side="server", origin=origin, service="Svc",
+               principal=principal, latency=2.0,
+               **({"fault": fault} if fault else {}))
+    b.emit("ws.request", side="client", origin="a", service="Svc",
+           latency=2.0)  # client side: not a serving sample
+    b.emit("ws.request", side="server", service="Svc", latency=2.0)  # no origin
+    b.emit("gram.submit", layer="grid", site="anl")
+    b.emit("gram.submit", layer="grid", site="ornl")
+    b.emit("gram.submit", layer="grid", site="anl")
+
+    assert rollup.samples == 3
+    assert rollup.replicas["a"].calls == 2
+    assert rollup.replicas["a"].faults == 1
+    assert rollup.replicas["a"].fault_rate == 0.5
+    assert rollup.replicas["b"].calls == 1
+    assert rollup.principals["u1"].calls == 2
+    assert rollup.sites == {"anl": 2, "ornl": 1}
+    assert rollup.load_shares() == {"a": 2 / 3, "b": 1 / 3}
+    assert rollup.merged_latency().count == 3
+    assert rollup.replicas["a"].top_service() == "Svc"
+
+
+def test_rollup_table_and_inflight_snapshot():
+    sim = Simulator(seed=0)
+    router = _StubRouter(["a", "b"], inflight={"a": 3, "b": 0})
+    rollup = FleetRollup(sim, router=router)
+    bus(sim).emit("ws.request", side="server", origin="a", service="Svc",
+                  latency=0.5)
+    assert rollup.inflight_snapshot() == {"a": 3, "b": 0}
+    table = rollup.table(ownership=router.ring.ownership(),
+                         budgets={"a": "42.0%"})
+    assert "owned" in table and "slo_budget" in table
+    assert "42.0%" in table
+    rollup.close()
+    bus(sim).emit("ws.request", side="server", origin="a", service="Svc",
+                  latency=0.5)
+    assert rollup.samples == 1  # closed -> deaf
+
+
+# -- HotShardDetector ---------------------------------------------------------
+
+def test_detector_flags_skew_against_ownership_and_clears():
+    sim = Simulator(seed=0)
+    router = _StubRouter(["a", "b", "c"])
+    detector = HotShardDetector(sim, router, window=100.0, check_every=10,
+                                threshold=2.0, min_samples=10)
+    # 90% of load on one of three replicas: score ~= 0.9 / ~0.33 > 2.
+    for i in range(20):
+        origin = "a" if i % 10 != 9 else "b"
+        _serve(sim, float(i), origin, service="HotSvc")
+    assert detector.hot == "a"
+    assert detector.first_detection() is not None
+    _, flagged = detector.first_detection()
+    assert flagged == "a"
+    (ev,) = bus(sim).events("fleet.imbalance")
+    assert ev.get("replica") == "a"
+    assert ev.get("service") == "HotSvc"
+    assert ev.get("score") >= 2.0
+    assert 0.0 < ev.get("owned") < 1.0
+
+    # Balanced traffic after the skewed window expires clears the flag.
+    for i in range(30):
+        _serve(sim, 150.0 + i, "abc"[i % 3], service="Svc")
+    assert detector.hot is None
+    (cleared,) = bus(sim).events("fleet.balanced")
+    assert cleared.get("replica") == "a"
+    kinds = [kind for _, kind, _, _ in detector.transitions]
+    assert kinds == ["hot", "clear"]
+
+
+def test_detector_stays_quiet_below_min_samples_and_threshold():
+    sim = Simulator(seed=0)
+    router = _StubRouter(["a", "b", "c"])
+    detector = HotShardDetector(sim, router, window=100.0, check_every=2,
+                                threshold=2.0, min_samples=50)
+    for i in range(20):  # plenty of skew, too few samples
+        _serve(sim, float(i), "a")
+    assert detector.hot is None
+    assert not bus(sim).events("fleet.imbalance")
+    with pytest.raises(ValueError):
+        HotShardDetector(sim, router, threshold=1.0)
+
+
+def test_detector_scores_normalize_served_share_by_owned_arc():
+    sim = Simulator(seed=0)
+    router = _StubRouter(["a", "b"])
+    detector = HotShardDetector(sim, router, window=1000.0, min_samples=1)
+    for i in range(10):
+        _serve(sim, float(i), "a")
+    scores = detector.scores()
+    ownership = router.ring.ownership()
+    assert scores["a"] == pytest.approx(1.0 / ownership["a"])
+    assert scores["b"] == 0.0
+
+
+# -- ControlTower -------------------------------------------------------------
+
+def test_control_tower_bundles_and_closes_observers():
+    sim = Simulator(seed=0)
+    router = _StubRouter(["a", "b"])
+    tower = ControlTower(sim, specs=[SloSpec("avail", availability=0.9)],
+                         router=router, detector_min_samples=1,
+                         detector_check_every=1)
+    assert tower.slo is not None and tower.detector is not None
+    _serve(sim, 1.0, "a")
+    dashboard = tower.dashboard()
+    assert "== fleet ==" in dashboard and "== slo ==" in dashboard
+    tower.close()
+    tower.close()  # idempotent
+    _serve(sim, 2.0, "a")
+    assert tower.fleet.samples == 1
+
+
+def test_control_tower_without_router_skips_detector():
+    sim = Simulator(seed=0)
+    tower = ControlTower(sim)
+    assert tower.detector is None and tower.slo is None
+    assert "== fleet ==" in tower.dashboard()
+    tower.close()

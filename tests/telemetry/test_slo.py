@@ -1,0 +1,177 @@
+"""Unit tests for SLO specs, burn-rate alerting and hard violations."""
+
+import pytest
+
+from repro.simkernel.kernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
+from repro.telemetry.slo import BurnRule, SloSpec, SloTracker
+
+
+def _drive(sim, stream):
+    """Emit one client-side ws.request per (ts, fields) item, in order."""
+    b = bus(sim)
+
+    def op():
+        for ts, fields in stream:
+            if sim.now < ts:
+                yield sim.timeout(ts - sim.now)
+            b.emit("ws.request", layer="ws", side="client", **fields)
+
+    sim.run(until=sim.process(op()))
+
+
+def _good(service="Svc", principal="u", latency=1.0):
+    return {"service": service, "principal": principal, "latency": latency}
+
+
+def _bad(service="Svc", principal="u", latency=1.0):
+    return {"service": service, "principal": principal, "latency": latency,
+            "fault": "GridError"}
+
+
+# -- SloSpec ------------------------------------------------------------------
+
+def test_spec_matches_exact_prefix_and_wildcard():
+    spec = SloSpec("s", service="Tower%", principal="*", availability=0.9)
+    assert spec.matches("Tower00Service", "anyone")
+    assert spec.matches("Tower", "anyone")
+    assert not spec.matches("Other", "anyone")
+    assert not spec.matches(None, "anyone")
+    exact = SloSpec("e", service="Svc", principal="alice", availability=0.9)
+    assert exact.matches("Svc", "alice")
+    assert not exact.matches("Svc2", "alice")
+    assert not exact.matches("Svc", "bob")
+    anything = SloSpec("a", availability=0.9)
+    assert anything.matches(None, None)
+
+
+def test_spec_validation_rejects_nonsense():
+    with pytest.raises(ValueError):
+        SloSpec("none")  # no objective at all
+    with pytest.raises(ValueError):
+        SloSpec("a", availability=1.5)
+    with pytest.raises(ValueError):
+        SloSpec("l", latency_target=-1.0)
+    with pytest.raises(ValueError):
+        SloSpec("q", latency_target=1.0, latency_quantile=1.0)
+    with pytest.raises(ValueError):
+        SloSpec("w", availability=0.9, compliance_window=0.0)
+    with pytest.raises(ValueError):
+        BurnRule(10.0, 5.0, 2.0)  # long <= short
+    with pytest.raises(ValueError):
+        BurnRule(10.0, 50.0, 0.0)
+
+
+# -- burn-rate alerting -------------------------------------------------------
+
+def _tracker(sim, **spec_kwargs):
+    spec_kwargs.setdefault("availability", 0.9)
+    spec_kwargs.setdefault("compliance_window", 200.0)
+    spec = SloSpec("slo", **spec_kwargs)
+    rule = BurnRule(10.0, 50.0, 2.0, "page")
+    return SloTracker(sim, [spec], rules=(rule,)), spec
+
+
+def test_burn_alert_fires_on_both_windows_and_clears():
+    sim = Simulator(seed=0)
+    tracker, _ = _tracker(sim)
+    # 100s of good traffic, then solid faults: the 10s window saturates
+    # immediately but the alert must wait for the 50s window to cross
+    # 2x budget (bad fraction 0.2 => 10 faulted samples).
+    stream = [(float(t), _good()) for t in range(100)]
+    stream += [(100.0 + t, _bad()) for t in range(15)]
+    _drive(sim, stream)
+    burn_at = tracker.first_transition("slo.burn")
+    assert burn_at is not None
+    assert burn_at >= 109.0  # not before the long window agrees
+    (ev,) = bus(sim).events("slo.burn")
+    assert ev.get("slo") == "slo" and ev.get("severity") == "page"
+    assert ev.get("short_burn") >= 2.0 and ev.get("long_burn") >= 2.0
+
+    # Recovery: good traffic drains the short window first -> clear.
+    def recover():
+        for t in range(30):
+            yield sim.timeout(1.0)
+            bus(sim).emit("ws.request", layer="ws", side="client", **_good())
+
+    sim.run(until=sim.process(recover()))
+    assert tracker.first_transition("slo.burn_clear") is not None
+    assert bus(sim).events("slo.burn_clear")
+
+
+def test_alert_leads_hard_violation_with_warm_history():
+    sim = Simulator(seed=0)
+    tracker, _ = _tracker(sim)
+    # 150s of good history inside the 200s compliance window holds the
+    # hard violation off while the burn windows (10s/50s) cross early.
+    stream = [(float(t), _good()) for t in range(150)]
+    stream += [(150.0 + t, _bad()) for t in range(40)]
+    _drive(sim, stream)
+    burn_at = tracker.first_transition("slo.burn")
+    violation_at = tracker.first_transition("slo.violation")
+    assert burn_at is not None and violation_at is not None
+    assert burn_at < violation_at
+    objective = tracker.objective("slo", "availability")
+    assert objective.violated
+    assert objective.budget_remaining() < 0.0  # budget overspent
+    assert "VIOLATED" in tracker.table()
+
+
+def test_latency_objective_counts_slow_and_faulted_requests_as_bad():
+    sim = Simulator(seed=0)
+    spec = SloSpec("lat", latency_target=2.0, latency_quantile=0.5,
+                   compliance_window=100.0, min_samples=4)
+    tracker = SloTracker(sim, [spec], rules=(BurnRule(5.0, 20.0, 1.5),))
+    stream = [(float(t), _good(latency=10.0)) for t in range(4)]  # slow
+    stream += [(4.0 + t, _bad(latency=0.1)) for t in range(2)]    # faulted
+    stream += [(6.0 + t, _good(latency=0.1)) for t in range(2)]   # fine
+    _drive(sim, stream)
+    objective = tracker.objective("lat", "latency")
+    counter = objective.compliance
+    assert counter.total == 8
+    assert counter.bad == 6
+    assert objective.violated  # good fraction 0.25 < quantile 0.5
+
+
+def test_side_and_scope_filters_exclude_foreign_traffic():
+    sim = Simulator(seed=0)
+    spec = SloSpec("scoped", service="Svc", principal="alice",
+                   availability=0.9, compliance_window=100.0)
+    tracker = SloTracker(sim, [spec], rules=())
+    b = bus(sim)
+    b.emit("ws.request", side="server", **_good(principal="alice"))  # wrong side
+    b.emit("ws.request", side="client", **_good(principal="bob"))    # wrong user
+    b.emit("ws.request", side="client", **_good(service="Other",
+                                                principal="alice"))
+    b.emit("ws.request", side="client", **_good(principal="alice"))
+    assert tracker.samples_recorded == 1
+    tracker.close()
+    b.emit("ws.request", side="client", **_good(principal="alice"))
+    assert tracker.samples_recorded == 1  # closed -> deaf
+
+
+def test_budget_and_burn_gauges_are_labelled_children():
+    sim = Simulator(seed=0)
+    _tracker(sim)
+    _drive(sim, [(0.0, _good()), (1.0, _bad())])
+    board = gauges(sim)
+    budget = board.get("slo.budget",
+                       labels={"slo": "slo", "objective": "availability"})
+    assert budget is not None
+    assert budget.family == "slo.budget"
+    # 1 bad of 2 with budget 0.1 -> remaining 1 - 0.5/0.1 = -4.0.
+    assert budget.current == pytest.approx(-4.0)
+    burn = board.family("slo.burn_rate")
+    assert burn and all(g.labels["slo"] == "slo" for g in burn)
+
+
+def test_tracker_is_observationally_pure():
+    sim = Simulator(seed=0)
+    _tracker(sim)
+    before = sim.now
+    for _ in range(50):
+        bus(sim).emit("ws.request", layer="ws", side="client", **_bad())
+    assert sim.now == before
+    sim.run()  # nothing scheduled by tracking
+    assert sim.now == before

@@ -194,3 +194,39 @@ def _routed_run():
 
 def test_routed_runs_are_trace_deterministic():
     assert _routed_run() == _routed_run()
+
+
+def test_ring_ownership_arcs_sum_to_one_and_cover_all_nodes():
+    nodes = [f"r{i}" for i in range(1, 6)]
+    ring = ring_with(nodes)
+    ownership = ring.ownership()
+    assert sorted(ownership) == sorted(nodes)
+    assert sum(ownership.values()) == pytest.approx(1.0)
+    assert all(arc > 0.0 for arc in ownership.values())
+    # 64 vnodes keep arcs roughly even; nothing owns half the ring.
+    assert max(ownership.values()) < 0.5
+
+
+def test_ring_ownership_tracks_membership_and_empty_ring():
+    assert HashRing().ownership() == {}
+    ring = ring_with(["a", "b"])
+    before = ring.ownership()
+    ring.remove("b")
+    assert ring.ownership() == {"a": pytest.approx(1.0)}
+    ring.add("b")
+    after = ring.ownership()
+    assert after.keys() == before.keys()
+    for node in before:
+        assert after[node] == pytest.approx(before[node])
+
+
+def test_ring_ownership_matches_sampled_owner_frequency():
+    ring = ring_with([f"r{i}" for i in range(1, 5)])
+    ownership = ring.ownership()
+    counts = {}
+    for key in KEYS:
+        owner = ring.owner(key)
+        counts[owner] = counts.get(owner, 0) + 1
+    for node, arc in ownership.items():
+        # 200 sampled keys land within a loose band of the exact arcs.
+        assert abs(counts.get(node, 0) / len(KEYS) - arc) < 0.15
