@@ -27,7 +27,7 @@ golden guard asserts.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.appliance.deploy import DeployedAppliance, deploy_image
 from repro.appliance.image import ImageBuilder, ONSERVE_PACKAGES
@@ -41,7 +41,8 @@ from repro.errors import OnServeError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host, HostSpec
 from repro.simkernel.events import Event
-from repro.simkernel.process import Process
+from repro.simkernel.process import Interrupt, Process
+from repro.telemetry.events import bus
 from repro.units import Gbps
 from repro.ws.client import WsClient
 from repro.ws.router import RequestRouter
@@ -68,10 +69,185 @@ class FabricStack(OnServeStack):
         self.onserves = onserves
         self.router = router
         self.store = store
+        # -- self-healing plane (inert until start_self_healing) ------
+        self.self_healing = False
+        self.heartbeat_interval = 5.0
+        self._heartbeats: Dict[str, Process] = {}
+        self._unsubscribe_remediation = None
+        self._last_remediation = None
+        #: (ts, replica, action) remediation log.
+        self.remediations: List = []
 
     @property
     def replica_hosts(self) -> List[Host]:
         return [o.host for o in self.onserves]
+
+    def onserve_for(self, name: str) -> Optional[OnServe]:
+        for onserve in self.onserves:
+            if onserve.replica == name:
+                return onserve
+        return None
+
+    # -- self-healing: leases, crash, restart, drain ------------------------
+
+    def start_self_healing(self,
+                           heartbeat_interval: Optional[float] = None
+                           ) -> "FabricStack":
+        """Arm the self-healing plane: leases + membership watchdog.
+
+        Every replica starts a heartbeat process renewing its lease in
+        the shared membership table every ``heartbeat_interval``
+        (default: a third of the router's ``lease_ttl``, so two beats
+        can be lost before the lease lapses), and the router starts the
+        lease watchdog that declares lapsed replicas dead.  Requires a
+        router constructed with ``self_healing=True`` and a store.
+        """
+        if self.self_healing:
+            return self
+        if not self.router.self_healing or self.router.store is None:
+            raise OnServeError("self-healing needs a router built with "
+                               "self_healing=True and a state store")
+        self.heartbeat_interval = (heartbeat_interval
+                                   or self.router.lease_ttl / 3.0)
+        self.self_healing = True
+        for onserve in self.onserves:
+            self._start_heartbeat(onserve.replica)
+        self.router.start_membership_watch()
+        return self
+
+    def stop_self_healing(self) -> None:
+        for name, proc in list(self._heartbeats.items()):
+            if proc.is_alive:
+                proc.interrupt("stop")
+        self._heartbeats.clear()
+        self.router.stop_membership_watch()
+        self.disable_remediation()
+        self.self_healing = False
+
+    def _start_heartbeat(self, name: str) -> None:
+        self._heartbeats[name] = self.sim.process(
+            self._heartbeat(name), name=f"fabric:heartbeat:{name}")
+
+    def _heartbeat(self, name: str) -> Generator[Event, None, None]:
+        # Renew-then-sleep: the lease is valid from the first beat, and
+        # a killed heartbeat simply stops renewing — the lease lapses
+        # on its own and the watchdog declares the death.
+        try:
+            while True:
+                self.store.renew_member(
+                    name, self.sim.now + self.router.lease_ttl)
+                yield self.sim.timeout(self.heartbeat_interval,
+                                       name=f"fabric:heartbeat:{name}")
+        except Interrupt:
+            return
+
+    def crash_replica(self, name: str) -> int:
+        """Kill replica *name* abruptly (fail-stop, no goodbye).
+
+        Models a process crash: the replica refuses new connections,
+        its heartbeat stops renewing the lease, and every request in
+        flight against it dies mid-exchange (the router's healing
+        transport fails those over).  The *router* is not told — it
+        must detect the death through transport faults or lease
+        expiry, which is exactly what the chaos scenario measures.
+        Returns how many in-flight requests were killed.
+        """
+        replica = self.router.replica_handle(name)
+        replica.crashed = True
+        heartbeat = self._heartbeats.pop(name, None)
+        if heartbeat is not None and heartbeat.is_alive:
+            heartbeat.interrupt("crash")
+        killed = self.router.kill_inflight(name)
+        bus(self.sim).emit("fabric.replica_crash", layer="core",
+                           replica=name, inflight_killed=killed)
+        return killed
+
+    def restart_replica(self, name: str) -> None:
+        """Bring a crashed/drained replica back into service.
+
+        The replica is stateless — everything it needs lives in the
+        shared DB tier — so restart is: clear the crash flag, rejoin
+        the ring, close the breaker, and resume heartbeating.
+        """
+        self.router.revive_replica(name)
+        if self.self_healing:
+            self.store.renew_member(name,
+                                    self.sim.now + self.router.lease_ttl)
+            if name not in self._heartbeats:
+                self._start_heartbeat(name)
+        bus(self.sim).emit("fabric.replica_restart", layer="core",
+                           replica=name)
+
+    def drain_replica(self, name: str, reason: str = "admin") -> Process:
+        """Gracefully remove *name*: stop new routes, finish in-flight.
+
+        Returns the drain process; its completion means the replica is
+        out of the ring with zero requests in flight, its membership
+        lease released and its agent session lease dropped.
+        """
+        def op() -> Generator[Event, None, None]:
+            heartbeat = self._heartbeats.pop(name, None)
+            if heartbeat is not None and heartbeat.is_alive:
+                heartbeat.interrupt("drain")
+            if self.store.member(name) is not None:
+                self.store.mark_draining(name)
+            drain = self.router.remove_replica(name, reason=reason,
+                                               drain=True)
+            yield drain
+            onserve = self.onserve_for(name)
+            if onserve is not None:
+                self.store.drop_lease(name, onserve.config.grid_username)
+
+        return self.sim.process(op(), name=f"fabric:drain:{name}")
+
+    # -- SLO-driven remediation ---------------------------------------------
+
+    def enable_remediation(self, tower, cooldown: float = 120.0) -> None:
+        """Drain-and-restart the hot replica when the SLO burns.
+
+        Subscribes to ``slo.burn``: when a burn alert fires and the
+        control tower's hot-shard detector has a currently-flagged
+        replica, that replica is drained (in-flight finishes, no loss)
+        and restarted — the simulated equivalent of recycling a sick
+        process.  One remediation per *cooldown* seconds, never against
+        the last live replica.  This is the one deliberately *active*
+        bus subscriber in the stack: it exists to close the loop from
+        observation to action, so it is opt-in and detachable.
+        """
+        if self._unsubscribe_remediation is not None:
+            return
+
+        def on_burn(event) -> None:
+            if not self.self_healing:
+                return
+            now = self.sim.now
+            if (self._last_remediation is not None
+                    and now - self._last_remediation < cooldown):
+                return
+            detector = getattr(tower, "detector", None)
+            target = detector.hot if detector is not None else None
+            if target is None or target not in self.router.replicas():
+                return
+            if len(self.router.replicas()) <= 1:
+                return
+            self._last_remediation = now
+            self.remediations.append((now, target, "drain_restart"))
+            bus(self.sim).emit("fabric.remediate", layer="core",
+                               replica=target, trigger="slo.burn")
+            self.sim.process(self._remediate(target),
+                             name=f"fabric:remediate:{target}")
+
+        self._unsubscribe_remediation = bus(self.sim).subscribe(
+            on_burn, kinds=("slo.burn",))
+
+    def disable_remediation(self) -> None:
+        if self._unsubscribe_remediation is not None:
+            self._unsubscribe_remediation()
+            self._unsubscribe_remediation = None
+
+    def _remediate(self, name: str) -> Generator[Event, None, None]:
+        yield self.drain_replica(name, reason="slo_burn")
+        self.restart_replica(name)
 
     def inquiry_endpoint(self) -> str:
         if self.router.enabled:
@@ -126,7 +302,13 @@ def deploy_fabric(testbed: Testbed,
                   replicas: int = 1,
                   router: Optional[bool] = None,
                   spill_threshold: int = 4,
-                  router_spec: Optional[HostSpec] = None) -> Process:
+                  router_spec: Optional[HostSpec] = None,
+                  self_healing: bool = False,
+                  lease_ttl: float = 15.0,
+                  lease_check_interval: float = 5.0,
+                  fault_threshold: int = 2,
+                  shed_limit: Optional[int] = None,
+                  backpressure_threshold: Optional[int] = None) -> Process:
     """Deploy a replicated onServe fabric onto *testbed* (a sim process).
 
     The process-event's value is a :class:`FabricStack`.  With
@@ -135,6 +317,13 @@ def deploy_fabric(testbed: Testbed,
     with a disabled router attached for the golden guard to poke at.
     ``router=None`` enables the router automatically when ``replicas >
     1``.
+
+    With ``self_healing=True`` (routed deployments) the stack arms the
+    lease/failover plane after deployment: replicas heartbeat their
+    membership leases into the shared store, the router watches for
+    expiry, crashed replicas fail over with idempotent retry, and the
+    ``shed_limit``/``backpressure_threshold`` overload ladder guards
+    admission (DESIGN.md §13).
     """
     if replicas < 1:
         raise OnServeError("replicas must be >= 1")
@@ -143,6 +332,8 @@ def deploy_fabric(testbed: Testbed,
     sim = testbed.sim
 
     if replicas == 1 and not router_on:
+        if self_healing:
+            raise OnServeError("self-healing needs the router enabled")
         def passthrough() -> Generator[Event, None, FabricStack]:
             stack = yield deploy_onserve(testbed, config, dbmanager)
             # Attached-but-disabled: constructed, ringed, *not* in the
@@ -240,7 +431,14 @@ def deploy_fabric(testbed: Testbed,
         request_router = RequestRouter(
             router_host, fabric, enabled=router_on,
             spill_threshold=spill_threshold,
-            breaker_failure_threshold=config.breaker_failure_threshold)
+            breaker_failure_threshold=config.breaker_failure_threshold,
+            store=store if self_healing else None,
+            self_healing=self_healing,
+            lease_ttl=lease_ttl,
+            lease_check_interval=lease_check_interval,
+            fault_threshold=fault_threshold,
+            shed_limit=shed_limit,
+            backpressure_threshold=backpressure_threshold)
         for onserve, server in zip(onserves, servers):
             request_router.add_replica(onserve.replica, server, onserve)
             onserve.router = request_router
@@ -251,9 +449,12 @@ def deploy_fabric(testbed: Testbed,
             # Redeployment over recovered data: the primary rebuilds the
             # published surface; other replicas materialize on demand.
             yield onserves[0].restore_services()
-        return FabricStack(
+        stack = FabricStack(
             testbed, appliances[0], fabric, servers[0], uddi, db,
             onserves[0].agent, onserves[0], user_clients,
             onserves=onserves, router=request_router, store=store)
+        if self_healing:
+            stack.start_self_healing()
+        return stack
 
     return sim.process(op(), name="deploy-fabric")

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.context import RequestContext, span
-from repro.errors import ServiceNotFound
+from repro.errors import ServiceNotFound, SoapFault
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
 from repro.ws.client import WsClient, generate_stub
@@ -82,18 +82,36 @@ def discover_and_invoke(stack: "OnServeStack", client: WsClient,
                                     principal=client.host.name)
 
     def op() -> Generator[Event, None, str]:
-        _name, endpoint, _wsdl_loc = yield discover_service(
-            stack, client, name_pattern, ctx=ctx)
-        cache = client.cache
-        document = cache.lookup_wsdl(endpoint) if cache is not None else None
-        if document is None:
-            document = yield client.fetch_wsdl(endpoint, ctx=ctx)
-            if cache is not None:
-                cache.store_wsdl(endpoint, document)
-        stub_class = (cache.stub_class(document) if cache is not None
-                      else generate_stub(document))
-        stub = stub_class(client)
-        result = yield stub.execute(ctx=ctx, **params)
-        return result
+        # One re-resolve on replica failover: a ReplicaDown fault means
+        # the bound endpoint named a dead replica, so the cached
+        # discovery/WSDL entries for it are evicted and the whole
+        # resolve→bind→execute sequence re-runs once against whatever
+        # the registry/router answers now.  Any other fault — and a
+        # second ReplicaDown — propagates unchanged, so the fault-free
+        # path and every pre-existing failure mode are untouched.
+        rebound = False
+        while True:
+            _name, endpoint, _wsdl_loc = yield discover_service(
+                stack, client, name_pattern, ctx=ctx)
+            cache = client.cache
+            document = (cache.lookup_wsdl(endpoint)
+                        if cache is not None else None)
+            if document is None:
+                document = yield client.fetch_wsdl(endpoint, ctx=ctx)
+                if cache is not None:
+                    cache.store_wsdl(endpoint, document)
+            stub_class = (cache.stub_class(document) if cache is not None
+                          else generate_stub(document))
+            stub = stub_class(client)
+            try:
+                result = yield stub.execute(ctx=ctx, **params)
+            except SoapFault as fault:
+                if fault.root_cause != "ReplicaDown" or rebound:
+                    raise
+                rebound = True
+                if cache is not None:
+                    cache.evict_endpoint(endpoint)
+                continue
+            return result
 
     return client.sim.process(op(), name=f"invoke:{name_pattern}")

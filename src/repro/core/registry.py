@@ -25,6 +25,16 @@ Tables
     are minted by each replica's own agent, so the lease key includes
     the replica — but the lease itself lives in the DB tier, surviving
     a replica process restart.
+``replica_members``
+    The self-healing plane's membership leases: one row per live
+    replica, refreshed by its heartbeat, carrying the lease expiry, a
+    process-incarnation epoch and an ``up``/``draining`` status.  The
+    router declares a replica dead when its lease lapses.
+``invocation_dedup``
+    Idempotency records for crash failover: one row per completed
+    mutating invocation, written in the same frame the result is
+    observed, so a retried ``execute`` whose first attempt already ran
+    returns the recorded result instead of double-submitting to GRAM.
 
 Purity contract
 ---------------
@@ -57,6 +67,8 @@ __all__ = ["ServiceStateStore"]
 SERVICE_TABLE = "service_records"
 STAGED_TABLE = "staged_copies"
 LEASE_TABLE = "agent_leases"
+MEMBER_TABLE = "replica_members"
+DEDUP_TABLE = "invocation_dedup"
 
 _SERVICE_SCHEMA = [
     Column("service_name", "TEXT", primary_key=True),
@@ -87,6 +99,20 @@ _LEASE_SCHEMA = [
     Column("expires", "REAL", nullable=False),
 ]
 
+_MEMBER_SCHEMA = [
+    Column("replica", "TEXT", primary_key=True),
+    Column("expires", "REAL", nullable=False),
+    Column("epoch", "INT", nullable=False),
+    Column("status", "TEXT", nullable=False),
+]
+
+_DEDUP_SCHEMA = [
+    Column("key", "TEXT", primary_key=True),
+    Column("replica", "TEXT", nullable=False),
+    Column("result", "TEXT", nullable=False),
+    Column("completed_at", "REAL", nullable=False),
+]
+
 
 class ServiceStateStore:
     """Replicated service state over the shared database engine."""
@@ -95,7 +121,9 @@ class ServiceStateStore:
         self.db = db
         for table, schema in ((SERVICE_TABLE, _SERVICE_SCHEMA),
                               (STAGED_TABLE, _STAGED_SCHEMA),
-                              (LEASE_TABLE, _LEASE_SCHEMA)):
+                              (LEASE_TABLE, _LEASE_SCHEMA),
+                              (MEMBER_TABLE, _MEMBER_SCHEMA),
+                              (DEDUP_TABLE, _DEDUP_SCHEMA)):
             if table not in db.tables:
                 db.create_table(table, schema)
         #: Cross-replica cache-invalidation listeners, keyed by replica.
@@ -105,6 +133,11 @@ class ServiceStateStore:
         #: appliance redeployed over recovered data resumes numbering).
         self._invocation_counter: Optional[int] = None
         self._tag_seq: Optional[int] = None
+        #: Monotonic membership-epoch source (process incarnations).
+        self._member_epoch = 0
+        #: Invocations that completed twice (must stay 0: each one is a
+        #: request the idempotency layer failed to deduplicate).
+        self.dedup_duplicates = 0
 
     # -- replica subscription (cache invalidation fan-out) -------------------
 
@@ -267,6 +300,78 @@ class ServiceStateStore:
             LEASE_TABLE,
             lambda r: r["key"] == key and (session is None
                                            or r["session"] == session))
+
+    # -- replica membership leases (self-healing plane) -----------------------
+
+    def renew_member(self, replica: str, expires: float,
+                     status: str = "up") -> None:
+        """Write/refresh *replica*'s membership lease (heartbeat).
+
+        ``epoch`` counts process incarnations: it bumps whenever a
+        replica (re)appears after its row was dropped, so a restarted
+        replica is distinguishable from one that never died.
+        """
+        row = self.member(replica)
+        epoch = row["epoch"] if row is not None else self._next_epoch()
+        with self.db.transaction():
+            self.db.delete_where(MEMBER_TABLE,
+                                 lambda r: r["replica"] == replica)
+            self.db.insert(MEMBER_TABLE, [replica, expires, epoch, status])
+
+    def _next_epoch(self) -> int:
+        self._member_epoch += 1
+        return self._member_epoch
+
+    def member(self, replica: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self.db.get_by_pk(MEMBER_TABLE, replica)
+        except RecordNotFound:
+            return None
+
+    def members(self) -> List[Dict[str, Any]]:
+        rows = self.db.select(MEMBER_TABLE)
+        return sorted(rows, key=lambda r: r["replica"])
+
+    def expired_members(self, now: float) -> List[str]:
+        """Replicas whose lease has lapsed at *now* (sorted)."""
+        return sorted(r["replica"] for r in self.db.select(MEMBER_TABLE)
+                      if r["expires"] <= now)
+
+    def mark_draining(self, replica: str) -> None:
+        self.db.update_where(MEMBER_TABLE, {"status": "draining"},
+                             lambda r: r["replica"] == replica)
+
+    def drop_member(self, replica: str) -> None:
+        self.db.delete_where(MEMBER_TABLE,
+                             lambda r: r["replica"] == replica)
+
+    # -- invocation dedup (idempotent crash-failover retries) -----------------
+
+    def dedup_result(self, key: str) -> Optional[str]:
+        """The recorded result for idempotency key *key*, if completed."""
+        try:
+            return self.db.get_by_pk(DEDUP_TABLE, key)["result"]
+        except RecordNotFound:
+            return None
+
+    def record_dedup(self, key: str, replica: str, result: str,
+                     now: float) -> bool:
+        """Record one invocation's completion; ``False`` on a duplicate.
+
+        Written in the same frame that observes the replica-side result,
+        so there is no yield point between "the work happened" and "the
+        record exists".  A ``False`` return means some other attempt
+        already completed this key — the caller double-executed, which
+        the chaos gate counts via :attr:`dedup_duplicates`.
+        """
+        if self.dedup_result(key) is not None:
+            self.dedup_duplicates += 1
+            return False
+        self.db.insert(DEDUP_TABLE, [key, replica, str(result), now])
+        return True
+
+    def dedup_count(self) -> int:
+        return self.db.count(DEDUP_TABLE)
 
     # -- shared counters ------------------------------------------------------
 

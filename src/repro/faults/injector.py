@@ -130,6 +130,40 @@ class FaultInjector:
             self.sim.process(crash(), name=f"fault:node.crash:{spec.target}")
         return self
 
+    def install_fabric(self, stack) -> "FaultInjector":
+        """Arm ``replica.crash`` specs against a deployed fabric stack.
+
+        Each spec kills one replica at a seeded instant drawn uniformly
+        inside its window (``target`` names the replica, or ``"*"`` for
+        a seeded pick among the replicas still routable at fire time).
+        Idempotent per spec, like :meth:`install`.
+        """
+        for spec in self.specs("replica.crash"):
+            if spec in self._armed:
+                continue
+            self._armed.append(spec)
+
+            def crash(spec: FaultSpec = spec):
+                start, end = spec.window
+                rng = self.sim.rng.stream(
+                    f"fault:replica.crash:{spec.target}")
+                at = start + rng.random() * (end - start)
+                if at > self.sim.now:
+                    yield self.sim.timeout(at - self.sim.now,
+                                           name="fault:replica-crash")
+                name = spec.target
+                if name == "*":
+                    live = stack.router.replicas()
+                    if not live:
+                        return
+                    name = live[rng.randrange(len(live))]
+                killed = stack.crash_replica(name)
+                self._trigger(spec, name, inflight_killed=killed)
+
+            self.sim.process(crash(),
+                             name=f"fault:replica.crash:{spec.target}")
+        return self
+
     # -- internals ----------------------------------------------------------
 
     def _trigger(self, spec: FaultSpec, target: str,

@@ -29,6 +29,8 @@ FAULT_KINDS = frozenset({
     "gram.lost_job",        # accepted, then dropped by the LRM
     "site.outage",          # site-wide down window (needs `window`)
     "node.crash",           # kill one node at `at` (needs `at`)
+    "replica.crash",        # kill a fabric replica inside `window`
+                            # (the instant is drawn seeded within it)
     "security.credential_expired",  # session proxy invalidated
     "db.stall",             # transient write stall for `duration`
     "db.txn_error",         # TransactionError on commit
@@ -61,6 +63,9 @@ class FaultSpec:
             raise ValueError("site.outage needs a (start, end) window")
         if kind == "node.crash" and at is None:
             raise ValueError("node.crash needs an `at` instant")
+        if kind == "replica.crash" and window is None:
+            raise ValueError("replica.crash needs a (start, end) window "
+                             "(the crash instant is drawn inside it)")
         if duration < 0:
             raise ValueError("fault duration must be >= 0")
         if max_fires is not None and max_fires < 1:

@@ -87,6 +87,18 @@ class CircuitBreaker:
             self.opened_until = self.sim.now + self.reset_timeout
             self._transition(OPEN)
 
+    def reset(self) -> None:
+        """Force the breaker closed (an operator replaced the target).
+
+        Used when a dead replica is restarted: the revived process is a
+        fresh one, so the failure history of its predecessor should not
+        keep it banned for a reset timeout it no longer deserves.
+        """
+        self.failures = 0
+        self.opened_until = 0.0
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
     def _transition(self, to: str) -> None:
         frm, self.state = self.state, to
         if to == CLOSED:
@@ -131,6 +143,12 @@ class BreakerBoard:
 
     def success(self, key: str) -> None:
         self.breaker(key).record_success()
+
+    def reset(self, key: str) -> None:
+        """Force *key*'s breaker closed; no-op for a never-used key."""
+        cell = self._breakers.get(key)
+        if cell is not None:
+            cell.reset()
 
     def states(self) -> Dict[str, str]:
         return {key: brk.state for key, brk in sorted(self._breakers.items())}

@@ -27,9 +27,13 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.controltower` — fleet observability: SLO
   burn-rate alerts leading hard violations under injected outages,
   hot-shard localization of skewed load, kernel profiling
+* :mod:`~repro.scenarios.chaos` — self-healing drill: kill replicas at
+  peak load; zero lost requests, bounded re-route detection, restart
+  rejoins the ring
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
+from repro.scenarios.chaos import ChaosResult, run_chaos
 from repro.scenarios.common import ScenarioEnv, standard_env
 from repro.scenarios.controltower import ControlTowerResult, run_controltower
 from repro.scenarios.datapath import DatapathResult, run_datapath
@@ -57,4 +61,5 @@ __all__ = [
     "DatapathResult", "run_datapath",
     "ScaleoutResult", "run_scaleout",
     "ControlTowerResult", "run_controltower",
+    "ChaosResult", "run_chaos",
 ]

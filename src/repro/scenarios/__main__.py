@@ -5,10 +5,10 @@ rendered report — the same output the benchmarks save under
 ``benchmarks/reports/``.
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
-bottleneck, faults, throughput, datapath, scaleout, controltower, all.
-``--smoke`` shrinks the workloads that support it (currently
-``bottleneck``, ``faults``, ``throughput``, ``datapath``, ``scaleout``
-and ``controltower``) for fast CI validation.
+bottleneck, faults, throughput, datapath, scaleout, controltower,
+chaos, all.  ``--smoke`` shrinks the workloads that support it
+(currently ``bottleneck``, ``faults``, ``throughput``, ``datapath``,
+``scaleout``, ``controltower`` and ``chaos``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -18,9 +18,9 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_bottleneck, run_controltower, run_datapath, run_faults, run_fig6,
-    run_fig7, run_fig8, run_overhead, run_scalability, run_scaleout,
-    run_smallfiles, run_throughput,
+    run_bottleneck, run_chaos, run_controltower, run_datapath, run_faults,
+    run_fig6, run_fig7, run_fig8, run_overhead, run_scalability,
+    run_scaleout, run_smallfiles, run_throughput,
 )
 from repro.units import MB
 
@@ -95,6 +95,17 @@ def _controltower() -> str:
     return result.render()
 
 
+def _chaos() -> str:
+    result = run_chaos(smoke=_SMOKE)
+    if not result.ok:
+        # The drill's invariants (zero lost, no double execution,
+        # bounded detection, rejoin, SLO held) are the robustness gate
+        # for the self-healing plane: a miss must fail the job.
+        print(result.render())
+        raise SystemExit(1)
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -108,6 +119,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "datapath": _datapath,
     "scaleout": _scaleout,
     "controltower": _controltower,
+    "chaos": _chaos,
 }
 
 

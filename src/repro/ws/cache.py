@@ -151,6 +151,31 @@ class ClientCache:
                            discovery=len(stale_patterns),
                            wsdl=len(stale_endpoints))
 
+    def evict_endpoint(self, endpoint: str) -> None:
+        """Drop everything cached *about endpoint* (failover eviction).
+
+        When a call through *endpoint* dies with a transport-level
+        fault (``ReplicaDown``), the cached discovery triple and WSDL
+        document pointing at it may name a corpse: evict them so the
+        next attempt re-resolves through UDDI/the router instead of
+        re-dialing from a stale binding.  Stub classes stay — they are
+        pure derivations of WSDL bytes, keyed by digest, and carry no
+        endpoint.
+        """
+        stale_patterns = [p for p, (_, triple) in self._discovery.items()
+                          if triple[1] == endpoint]
+        for pattern in stale_patterns:
+            del self._discovery[pattern]
+        had_wsdl = endpoint in self._wsdl
+        if had_wsdl:
+            del self._wsdl[endpoint]
+        if stale_patterns or had_wsdl:
+            self.invalidations += 1
+            self._bus.emit("cache.invalidate", layer="ws",
+                           endpoint=endpoint,
+                           discovery=len(stale_patterns),
+                           wsdl=int(had_wsdl))
+
     def clear(self) -> None:
         self._discovery.clear()
         self._wsdl.clear()

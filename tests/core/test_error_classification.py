@@ -33,6 +33,8 @@ CLASSIFICATION = {
     "WsdlError": False,
     "UddiError": False,
     "ServiceNotFound": False,
+    "ReplicaDown": True,             # fail over to a survivor
+    "ServerOverloaded": True,        # transient load: back off, repeat
     "GridError": False,
     "RslError": False,
     "JobError": True,                # resubmission may well succeed

@@ -157,3 +157,61 @@ def test_shared_store_single_schema():
     store_b = ServiceStateStore(db)  # idempotent table creation
     store_a.put_record(make_service(), replica="a")
     assert store_b.get_record("HelloService") is not None
+
+
+def test_member_lease_lifecycle_and_epochs():
+    sim, store = make_store()
+    assert store.members() == []
+    store.renew_member("a", expires=10.0)
+    store.renew_member("b", expires=20.0)
+    row = store.member("a")
+    assert row["status"] == "up" and row["expires"] == 10.0
+    first_epoch = row["epoch"]
+    # Renewal refreshes the expiry without bumping the incarnation.
+    store.renew_member("a", expires=15.0)
+    renewed = store.member("a")
+    assert renewed["expires"] == 15.0
+    assert renewed["epoch"] == first_epoch
+    # Drop + reappear = a new incarnation: the epoch must advance.
+    store.drop_member("a")
+    assert store.member("a") is None
+    store.renew_member("a", expires=30.0)
+    assert store.member("a")["epoch"] > first_epoch
+
+
+def test_expired_members_and_draining():
+    sim, store = make_store()
+    store.renew_member("a", expires=10.0)
+    store.renew_member("b", expires=20.0)
+    store.renew_member("c", expires=5.0)
+    assert store.expired_members(4.9) == []
+    assert store.expired_members(10.0) == ["a", "c"]  # lapse inclusive
+    assert store.expired_members(99.0) == ["a", "b", "c"]
+    store.mark_draining("b")
+    assert store.member("b")["status"] == "draining"
+    # Draining does not exempt a replica from lease expiry.
+    assert "b" in store.expired_members(99.0)
+    # Dropping an unknown member is a no-op, not an error.
+    store.drop_member("ghost")
+    assert [r["replica"] for r in store.members()] == ["a", "b", "c"]
+
+
+def test_dedup_records_once_and_flags_duplicates():
+    sim, store = make_store()
+    key = "req-1|RouteService.invoke"
+    assert store.dedup_result(key) is None
+    assert store.dedup_count() == 0
+    assert store.record_dedup(key, "replica1", "out.dat", now=3.0)
+    assert store.dedup_result(key) == "out.dat"
+    assert store.dedup_count() == 1
+    # A second completion of the same key is the double-execution the
+    # chaos gate hunts for: refused, and counted.
+    assert store.dedup_duplicates == 0
+    assert not store.record_dedup(key, "replica2", "other.dat", now=4.0)
+    assert store.dedup_result(key) == "out.dat"
+    assert store.dedup_count() == 1
+    assert store.dedup_duplicates == 1
+    # Distinct keys never collide.
+    assert store.record_dedup("req-2|RouteService.invoke", "replica2",
+                              "out2.dat", now=5.0)
+    assert store.dedup_count() == 2

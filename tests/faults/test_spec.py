@@ -17,7 +17,7 @@ def test_defaults():
 def test_every_declared_kind_constructs():
     for kind in sorted(FAULT_KINDS):
         kwargs = {}
-        if kind == "site.outage":
+        if kind in ("site.outage", "replica.crash"):
             kwargs["window"] = (0.0, 10.0)
         if kind == "node.crash":
             kwargs["at"] = 5.0
@@ -32,6 +32,7 @@ def test_every_declared_kind_constructs():
     dict(kind="gram.refuse", window=(10.0, 5.0)),
     dict(kind="site.outage"),                      # needs a window
     dict(kind="node.crash"),                       # needs an instant
+    dict(kind="replica.crash"),                    # needs a window
     dict(kind="db.stall", duration=-1.0),
     dict(kind="gram.refuse", max_fires=0),
 ])

@@ -36,7 +36,10 @@ def test_matrix_covers_every_fault_kind():
     covered = {spec.kind
                for case in FAULT_CASES
                for spec in case.specs(probe)}
-    assert covered == FAULT_KINDS
+    # replica.crash needs a routed multi-replica fabric, which the
+    # single-appliance matrix cannot host — the chaos drill
+    # (scenarios/chaos.py) owns that kind's invariants.
+    assert covered == FAULT_KINDS - {"replica.crash"}
 
 
 def test_failover_case_re_stages_on_a_second_site():

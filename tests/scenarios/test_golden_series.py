@@ -103,6 +103,58 @@ def test_goldens_unchanged_with_idle_router_attached(name, monkeypatch):
 
 
 @pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_idle_healing_plane_attached(
+        name, monkeypatch):
+    """A self-healing-*configured* but disabled router must stay inert.
+
+    The self-healing determinism contract (DESIGN.md §13): leases,
+    failover dedup and the overload ladder all hang off a router that
+    is ``self_healing=True`` and holds a state store — but none of it
+    runs until ``start_membership_watch`` / heartbeats start.  A
+    disabled router with the full healing configuration attached must
+    not cost one event, and its membership/dedup tables must stay
+    empty for the whole run.
+    """
+    import repro.scenarios.common as common
+    from repro.core.registry import ServiceStateStore
+    from repro.ws.router import RequestRouter
+
+    real_deploy = common.deploy_onserve
+    stores = []
+
+    def attach_healing_router(ev):
+        if not ev._ok:
+            return
+        stack = ev._value
+        store = ServiceStateStore(stack.dbmanager.db)
+        stores.append(store)
+        idle = RequestRouter(stack.appliance_host, stack.fabric,
+                             enabled=False, store=store,
+                             self_healing=True, lease_ttl=15.0,
+                             lease_check_interval=5.0, fault_threshold=2,
+                             shed_limit=8, backpressure_threshold=16)
+        idle.add_replica(stack.appliance_host.name, stack.soap_server,
+                         stack.onserve)
+        stack.onserve.router = idle
+
+    def healing_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+        proc.add_callback(attach_healing_router)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", healing_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with the idle self-healing plane attached — "
+        f"the disabled lease/dedup machinery perturbed the simulation")
+    # Nothing leased, nothing deduped: the plane never woke up.
+    assert stores
+    assert stores[-1].members() == []
+    assert stores[-1].dedup_count() == 0
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
 def test_goldens_unchanged_with_control_tower_attached(name, monkeypatch):
     """An attached-but-observing control tower must not perturb a run.
 

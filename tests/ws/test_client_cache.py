@@ -71,6 +71,35 @@ def test_invalidate_drops_only_the_named_service():
     assert cache.invalidations == 1
 
 
+def test_evict_endpoint_drops_bindings_but_keeps_stubs():
+    sim = Simulator(seed=0)
+    cache = ClientCache(sim)
+    cache.store_discovery("A%", ("AService", "soap://dead/AService",
+                                 "soap://dead/AService?wsdl"))
+    cache.store_discovery("B%", ("BService", "soap://live/BService",
+                                 "soap://live/BService?wsdl"))
+    cache.store_wsdl("soap://dead/AService", b"<a/>")
+    cache.store_wsdl("soap://live/BService", b"<b/>")
+    from repro.ws.registryapi import OperationSpec, ServiceDescription
+    from repro.ws.wsdl import generate_wsdl
+    doc = generate_wsdl(ServiceDescription("AService", [
+        OperationSpec("execute", [], "xsd:string")]), "soap://dead/AService")
+    stub = cache.stub_class(doc)
+    # Failover eviction: everything *bound to* the dead endpoint goes,
+    # entries for other endpoints stay put.
+    cache.evict_endpoint("soap://dead/AService")
+    assert cache.lookup_discovery("A%") is None
+    assert cache.lookup_wsdl("soap://dead/AService") is None
+    assert cache.lookup_discovery("B%") is not None
+    assert cache.lookup_wsdl("soap://live/BService") is not None
+    # Stub classes are pure derivations of WSDL bytes: they survive.
+    assert cache.stub_class(doc) is stub
+    assert cache.invalidations == 1
+    # Evicting an endpoint nothing points at is a silent no-op.
+    cache.evict_endpoint("soap://dead/AService")
+    assert cache.invalidations == 1
+
+
 # -- integration: caches on a live stack -----------------------------------
 
 

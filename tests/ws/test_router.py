@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.errors import WsError
+from repro.errors import ReplicaDown, SoapFault, WsError
 from repro.hardware import Host, Network
 from repro.hardware.host import HostSpec
 from repro.simkernel import Simulator
+from repro.telemetry.events import bus
+from repro.telemetry.gauges import gauges
 from repro.ws.router import HashRing, RequestRouter
 from repro.ws.server import SoapFabric
 
@@ -142,6 +144,61 @@ def test_membership_bookkeeping():
     with pytest.raises(WsError):
         router.remove_replica("replica2")
     assert len(router.ring) == 1
+
+
+def test_remove_replica_clears_gauges_and_emits_rebalance():
+    # The ghost-replica fix: removal must zero the removed replica's
+    # inflight gauge, shed its share of the aggregate queue gauge, and
+    # announce the membership change on the bus.
+    sim, router = make_router(n_replicas=3)
+    board = gauges(sim)
+    router._admit("replica2")
+    router._admit("replica2")
+    router._admit("replica1")
+    assert board.gauge("router.queue", unit="reqs").current == 3
+    router.remove_replica("replica2", reason="test")
+    assert board.gauge("router.queue", unit="reqs").current == 1
+    assert board.gauge("router.inflight", unit="reqs",
+                       labels={"replica": "replica2"}).current == 0
+    events = bus(sim).events("router.rebalance")
+    assert any(ev.get("replica") == "replica2"
+               and ev.get("reason") == "remove:test" for ev in events)
+    # A late release for the removed replica must not go negative.
+    router._release("replica2")
+    assert board.gauge("router.queue", unit="reqs").current == 1
+    router._release("replica1")
+    assert board.gauge("router.queue", unit="reqs").current == 0
+
+
+# -- satellite: HashRing.remove coverage ------------------------------------
+
+def test_ring_remove_preference_excludes_removed_node():
+    ring = ring_with([f"r{i}" for i in range(1, 6)])
+    ring.remove("r2")
+    for key in KEYS:
+        order = ring.preference(key)
+        assert "r2" not in order
+        assert sorted(order) == ring.nodes()
+
+
+def test_ring_remove_keeps_ownership_normalized():
+    ring = ring_with([f"r{i}" for i in range(1, 9)])
+    for victim in ("r4", "r7"):
+        ring.remove(victim)
+        ownership = ring.ownership()
+        assert victim not in ownership
+        assert sum(ownership.values()) == pytest.approx(1.0)
+        assert all(arc > 0.0 for arc in ownership.values())
+
+
+def test_ring_remove_then_readd_is_deterministic():
+    ring = ring_with([f"r{i}" for i in range(1, 6)])
+    before_points = list(ring._points)
+    before_owners = {key: ring.owner(key) for key in KEYS}
+    ring.remove("r3")
+    ring.add("r3")
+    assert list(ring._points) == before_points
+    assert {key: ring.owner(key) for key in KEYS} == before_owners
 
 
 def test_disabled_router_owns_no_endpoint():
