@@ -38,7 +38,7 @@ from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.core.context import RequestContext, span
 from repro.core.datastructures import ExecutableRecord
-from repro.core.watchdog import await_mux, poll_until
+from repro.core.watchdog import await_mux, await_notification, poll_until
 from repro.cyberaide.jobspec import CyberaideJobSpec
 from repro.errors import (
     InvocationError, JobError, JobNotFound, is_retryable, root_cause_name,
@@ -474,6 +474,14 @@ class GridServiceRuntime:
             yield host.disk_write(len(output))
             return output
 
+        queue = self.onserve.notify_queue
+        if queue is not None and queue.site_capable(site):
+            # Push path (the fallback ladder's top rung): the site's
+            # gatekeeper delivers the terminal state change to us —
+            # zero poller exchanges, detection lag = one propagation.
+            return (yield from self._await_output_notify(
+                queue, session, site, job_id, report, ctx))
+
         if cfg.datapath:
             # Batched data path: the per-site multiplexer detects
             # completion for us; only the final fetch stays per-job.
@@ -555,16 +563,55 @@ class GridServiceRuntime:
                 f"(failed on the grid?)")
         return output
 
+    def _await_output_notify(self, queue, session: str, site: str,
+                             job_id: str, report: InvocationReport,
+                             ctx: Optional[RequestContext] = None
+                             ) -> Generator[Event, None, bytes]:
+        """Completion detection by subscription (the push path).
+
+        The notify-capable gatekeeper publishes the job's terminal
+        state onto the durable queue; this waiter parks on the
+        subscription — under the same watchdog deadline as every other
+        rung of the ladder — and wakes one propagation delay after the
+        job actually finished.  No tentative polls at all: the only
+        per-job exchange left is fetching the final output.
+        """
+        cfg = self.onserve.config
+        host = self.onserve.host
+        stub = self.onserve.agent_stub
+        with span(ctx, "notify:await", site=site, job=job_id):
+            note = yield await_notification(
+                self.sim, queue, site, job_id, cfg.watchdog_timeout)
+        self._emit_detected(ctx, job_id, site, polls=0, batched=False,
+                            pushed=True)
+        if note["error"]:
+            # The job manager lost the job and said so — same
+            # classification as the poll paths' lookup failure, so
+            # failover applies.
+            raise JobNotFound(
+                f"gatekeeper has no record of job {job_id!r}")
+        if note["state"] != "done":
+            raise JobError(f"grid job {job_id} ended {note['state']}")
+        output = yield stub.fetchOutput(session=session, site=site,
+                                        jobId=job_id, ctx=ctx)
+        yield host.disk_write(len(output))
+        if output and set(output) == {0}:
+            raise JobError(
+                f"grid job {job_id} produced no final output "
+                f"(failed on the grid?)")
+        return output
+
     def _emit_detected(self, ctx: Optional[RequestContext], job_id: str,
-                       site: str, polls: int, batched: bool) -> None:
+                       site: str, polls: int, batched: bool,
+                       pushed: bool = False) -> None:
         """Observational completion-detection marker (no sim events):
         correlated with the scheduler's ``sched.finish`` it yields the
-        detection lag the datapath ablation reports."""
+        detection lag the datapath/notify ablations report."""
         self.onserve.bus.emit(
             "core.output_detected", layer="core",
             request_id=ctx.request_id if ctx else None,
             service=self.record.name, site=site, job_id=job_id,
-            polls=polls, batched=batched)
+            polls=polls, batched=batched, pushed=pushed)
 
 
 def _argument(value: Any) -> str:

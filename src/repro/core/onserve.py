@@ -79,7 +79,10 @@ class OnServeConfig:
                  poll_min_interval: float = 2.0,
                  poll_max_interval: Optional[float] = None,
                  poll_backoff: float = 2.0,
-                 ftp_session_idle: float = 600.0):
+                 ftp_session_idle: float = 600.0,
+                 notify: bool = False,
+                 notify_sites: tuple = ("*",),
+                 notify_propagation: float = 0.5):
         if site_policy not in ("best", "round_robin", "random"):
             raise OnServeError(f"unknown site policy {site_policy!r}")
         if failover_sites < 0:
@@ -90,6 +93,8 @@ class OnServeConfig:
             raise OnServeError("poll_backoff must be >= 1.0")
         if ftp_session_idle <= 0:
             raise OnServeError("ftp_session_idle must be positive")
+        if notify_propagation <= 0:
+            raise OnServeError("notify_propagation must be positive")
         self.grid_username = grid_username
         self.grid_passphrase = grid_passphrase
         #: Tentative-poll period (the "relative constant interval").
@@ -150,6 +155,18 @@ class OnServeConfig:
         self.poll_backoff = poll_backoff
         #: GridFTP control-channel idle timeout (session reuse).
         self.ftp_session_idle = ftp_session_idle
+        #: Push path (ROADMAP item 1): attach the durable notification
+        #: queue and mark the listed sites' gatekeepers capable ("*"
+        #: means every site).  Off by default: the goldens pin the
+        #: poll-based timeline, and even when the queue is attached a
+        #: site absent from ``notify_sites`` keeps using the ladder's
+        #: lower rungs (PollMux / poll_until).
+        self.notify = notify
+        self.notify_sites = tuple(notify_sites)
+        #: Event-propagation delay: gatekeeper -> appliance trip of one
+        #: state-change message — the whole detection lag of the push
+        #: path.
+        self.notify_propagation = notify_propagation
 
 
 class OnServe:
@@ -242,6 +259,12 @@ class OnServe:
         #: One adaptive batch-polling multiplexer per site (datapath
         #: mode); created lazily, schedules nothing while unused.
         self._poll_muxes: Dict[str, "PollMux"] = {}
+        #: The durable job-state notification queue (push path), wired
+        #: by ``deploy_onserve`` when ``config.notify`` is set — or
+        #: attached externally (the golden guard attaches one with zero
+        #: capable sites to prove it is byte-invisible).  The runtime
+        #: takes the push rung only for sites the queue marks capable.
+        self.notify_queue = None
         # Durable invocation history (queried by the management API).
         from repro.db.table import Column
         if "invocations" not in self.dbmanager.db.tables:
@@ -872,6 +895,20 @@ def deploy_onserve(testbed: Testbed,
 
         onserve = OnServe(testbed.appliance_host, soap_server, fabric,
                           uddi, db, agent, config)
+
+        if config.notify:
+            # Push path: one durable notification queue over the DB
+            # tier, each gatekeeper attached with its site's capability
+            # (heterogeneous on purpose — sites outside notify_sites
+            # keep the poll ladder).
+            from repro.grid.notify import NotifyQueue
+            queue = NotifyQueue(sim, db.db,
+                                propagation=config.notify_propagation)
+            for name, gatekeeper in testbed.gatekeepers.items():
+                capable = ("*" in config.notify_sites
+                           or name in config.notify_sites)
+                gatekeeper.attach_notify(queue, capable=capable)
+            onserve.notify_queue = queue
 
         # Publish the registry's inquiry API and the management API as
         # web services of their own (jUDDI inquiry / portal management).

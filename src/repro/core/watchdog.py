@@ -15,6 +15,10 @@ Two tools live here:
 * :func:`await_mux` — the multiplexed variant: park on a
   :class:`~repro.grid.poller.PollMux` waiter under the same deadline
   discipline, unregistering on timeout so the mux stops polling for us.
+* :func:`await_notification` — the push-path variant: park on a
+  :class:`~repro.grid.notify.NotifyQueue` subscription under the same
+  deadline discipline (the fallback ladder's top rung: notify →
+  PollMux → ``poll_until``).
 """
 
 from __future__ import annotations
@@ -26,7 +30,20 @@ from repro.simkernel.events import Event
 from repro.simkernel.kernel import Simulator
 from repro.simkernel.process import Interrupt, Process
 
-__all__ = ["Watchdog", "await_mux", "poll_until"]
+__all__ = ["Watchdog", "await_mux", "await_notification", "poll_until"]
+
+
+def _abandon(waiter: Event) -> None:
+    """Defuse an abandoned waiter so nothing can cross wires later.
+
+    A waiter its owner stopped caring about (deadline passed) may still
+    be triggered by machinery that held a reference to it — a batch
+    failure racing the timeout, a late delivery.  Marking any eventual
+    failure defused keeps the kernel from re-raising it at end of run,
+    and the owner never confuses it with the *fresh* waiter a
+    re-registration of the same key creates.
+    """
+    waiter.add_callback(lambda ev: ev.defused() if not ev._ok else None)
 
 
 class Watchdog:
@@ -140,7 +157,40 @@ def await_mux(sim: Simulator, mux, key: Any, token: Any,
                 return waiter.value
             raise waiter.value
         mux.unregister(key)
+        _abandon(waiter)
         raise WatchdogTimeout(
             f"multiplexed polling for {key!r} gave up ({timeout:.0f}s)")
 
     return sim.process(op(), name=f"await-mux:{key}")
+
+
+def await_notification(sim: Simulator, queue, site: str, job_id: str,
+                       timeout: float) -> Process:
+    """Wait for *job_id*'s terminal push notification under a deadline.
+
+    Subscribes to the :class:`~repro.grid.notify.NotifyQueue` and parks
+    until the terminal state-change message is delivered (value is the
+    queue's payload dict) or *timeout* elapses — in which case the
+    subscription is dropped, the abandoned waiter defused, and
+    :class:`WatchdogTimeout` raised: the same deadline discipline as
+    :func:`poll_until` and :func:`await_mux`, so the watchdog covers
+    the push path too.  A subscriber arriving after the durable
+    ``job_states`` row is already terminal completes immediately.
+    """
+    if timeout <= 0:
+        raise ValueError("await_notification timeout must be positive")
+
+    def op() -> Generator[Event, None, Any]:
+        waiter = queue.subscribe(site, job_id)
+        deadline = sim.timeout(timeout)
+        yield sim.any_of([waiter, deadline])
+        if waiter.triggered:
+            if waiter.ok:
+                return waiter.value
+            raise waiter.value
+        queue.unsubscribe(job_id, waiter)
+        _abandon(waiter)
+        raise WatchdogTimeout(
+            f"notification for {job_id!r} never arrived ({timeout:.0f}s)")
+
+    return sim.process(op(), name=f"await-notify:{job_id}")

@@ -49,6 +49,10 @@ class GramGatekeeper:
     #: Marginal head-node CPU per extra job in a batch (one table lookup
     #: vs a full authorization + envelope parse).
     BATCH_ITEM_CPU = 0.001
+    #: Control bytes per push notification (a small state-change
+    #: callback message, no envelope negotiation — the connection the
+    #: subscription holds open already paid it).
+    NOTIFY_BYTES = 256
 
     def __init__(self, site: GridSite):
         self.site = site
@@ -66,6 +70,18 @@ class GramGatekeeper:
         self.head_cpu_modeled = 0.0
         #: job_id -> completion event (fires with the terminal job).
         self._completions: Dict[str, Event] = {}
+        #: Push path (ROADMAP item 1): the durable notification queue
+        #: this gatekeeper publishes job-state changes to, if its site
+        #: "supports" callbacks.  Heterogeneous on purpose: an attached
+        #: queue with ``capable=False`` is never published to.
+        self.notify_queue = None
+        self.notify_capable = False
+        #: Notification accounting (plain counters, like the data-path
+        #: ones): messages pushed and their modelled control bytes.
+        #: Deliberately *not* folded into ``exchanges`` — a push is not
+        #: a client-initiated poller exchange.
+        self.notifications = 0
+        self.notify_bytes = 0
         #: Observability plane: concurrent gatekeeper exchanges become a
         #: gauge (the "GRAM queue" of §VIII.D), submissions become events.
         self._bus = bus(self.sim)
@@ -78,6 +94,42 @@ class GramGatekeeper:
         self.exchanges += 1
         self.head_cpu_modeled += (self.REQUEST_CPU
                                   + self.BATCH_ITEM_CPU * (jobs - 1))
+
+    # -- push notifications (ROADMAP item 1) ---------------------------------
+
+    def attach_notify(self, queue, capable: bool = True) -> None:
+        """Wire this gatekeeper to the durable notification queue.
+
+        With ``capable=True`` the site registers in the queue's
+        capability set, every ``submit`` publishes the job's lifecycle
+        (submit-frame state, then the terminal state the moment it is
+        reached — same frame as the state change, PR 8's durability
+        discipline), and the scheduler's ``sched.start`` events are
+        mirrored into the ``job_states`` table (a row write only: bus
+        observers must stay pure).  With ``capable=False`` the queue is
+        merely referenced — nothing is ever published, recorded or
+        scheduled, which is what keeps an attached-but-incapable queue
+        byte-invisible to the goldens.
+        """
+        self.notify_queue = queue
+        self.notify_capable = capable
+        if not capable:
+            return
+        queue.attach_site(self.site.name)
+        prefix = f"{self.site.name}-job-"
+        self._bus.subscribe(
+            lambda ev: queue.record_state(
+                self.site.name, ev.fields["job_id"], JobState.ACTIVE.value)
+            if ev.fields.get("job_id", "").startswith(prefix) else None,
+            kinds=["sched.start"])
+
+    def _push_state(self, job_id: str, state: str, terminal: bool,
+                    error: bool = False) -> None:
+        """Publish one state change (and book its modelled bytes)."""
+        self.notifications += 1
+        self.notify_bytes += self.NOTIFY_BYTES
+        self.notify_queue.publish(self.site.name, job_id, state,
+                                  terminal=terminal, error=error)
 
     # -- operations (all simulation processes) ------------------------------
 
@@ -126,14 +178,29 @@ class GramGatekeeper:
                             injector.fire("gram.lost_job", self.site.name)):
                         # The classic lost job: the gatekeeper hands out a
                         # perfectly good handle, but the LRM never hears of
-                        # it — later polls find nothing (JobNotFound).
+                        # it — later polls find nothing (JobNotFound).  A
+                        # notify-capable job manager *knows* it lost track
+                        # and surfaces that as an error callback, so push
+                        # subscribers fail over as fast as they complete.
                         self.site.drop_job(job.job_id)
+                        if self.notify_capable:
+                            self._push_state(job.job_id, "lost",
+                                             terminal=True, error=True)
                         self.submissions += 1
                         yield self.host.send(client, 512,
                                              label="gram-handle")
                         return job.job_id
                     done = self.site.run_job(job)
                     self._completions[job.job_id] = done
+                    if self.notify_capable:
+                        if not job.is_terminal:
+                            # Same frame as the submission's state change.
+                            self._push_state(job.job_id, job.state.value,
+                                             terminal=False)
+                        done.add_callback(
+                            lambda ev, jid=job.job_id: self._push_state(
+                                jid, ev._value.state.value, terminal=True)
+                            if ev._ok else None)
                     self.submissions += 1
                     self._bus.emit("gram.submit", layer="grid",
                                    request_id=rid, site=self.site.name,

@@ -76,6 +76,10 @@ class PollMux:
         self._interval = min_interval
         self._pending: Dict[Any, _Entry] = {}
         self._running = False
+        self._in_batch = False
+        #: A key registered while a batch was in flight: its snap-to-
+        #: floor must survive that round's quiet-batch backoff.
+        self._fresh_mid_batch = False
         self._wake: Optional[Event] = None
         self._bus = bus(sim)
         g = gauges(sim)
@@ -104,6 +108,11 @@ class PollMux:
         self._pending[key] = entry
         self._pending_gauge.adjust(+1)
         self._set_interval(self.min_interval)
+        if self._in_batch:
+            # The in-flight batch never polled this key; a quiet round
+            # must not back the fresh job's floor off (the "fast first
+            # look" contract).
+            self._fresh_mid_batch = True
         if not self._running:
             self._running = True
             self.sim.process(self._run(), name=f"pollmux:{self.name}")
@@ -121,35 +130,55 @@ class PollMux:
         self._interval = value
         self._interval_gauge.set(value)
 
-    def _fail_all(self, exc: BaseException) -> None:
-        """A failed batch fails every waiter (defused: each waiter's
-        own error handling decides what happens, not the kernel)."""
-        entries = list(self._pending.values())
-        self._pending.clear()
-        self._pending_gauge.set(0)
-        for entry in entries:
+    def _fail_batch(self, snapshot, exc: BaseException) -> None:
+        """A failed batch fails the waiters *it actually covered*.
+
+        Keys registered after the batch left (and re-registrations of a
+        key that timed out meanwhile — a different entry object under
+        the same key) were never polled by the failing exchange, so
+        they stay pending; the loop restarts for them.  Failed waiters
+        are defused: each one's own error handling decides what
+        happens, not the kernel.
+        """
+        for key, entry in snapshot:
+            if self._pending.get(key) is not entry:
+                continue  # unregistered, or replaced by a fresh waiter
+            del self._pending[key]
+            self._pending_gauge.adjust(-1)
             entry.event.fail(exc)
             entry.event.defused()
 
     def _run(self):
         try:
             while self._pending:
-                batch = [(key, entry.token)
-                         for key, entry in self._pending.items()]
-                self._batch_gauge.set(len(batch))
+                snapshot = list(self._pending.items())
+                self._batch_gauge.set(len(snapshot))
+                self._in_batch = True
+                self._fresh_mid_batch = False
                 try:
-                    results = yield self.batch_poll(batch)
+                    results = yield self.batch_poll(
+                        [(key, entry.token) for key, entry in snapshot])
                 except Exception as exc:
-                    self._fail_all(exc)
-                    return
+                    self._fail_batch(snapshot, exc)
+                    if not self._pending:
+                        return
+                    # Mid-batch registrants survive the failure: poll
+                    # them promptly on a fresh round from the floor.
+                    self._set_interval(self.min_interval)
+                    continue
+                finally:
+                    self._in_batch = False
                 self.rounds += 1
                 self._bus.emit("poller.batch", layer="grid", name=self.name,
-                               jobs=len(batch), interval=self._interval)
+                               jobs=len(snapshot), interval=self._interval)
                 detected = 0
-                for key, _token in batch:
-                    entry = self._pending.get(key)
-                    if entry is None:
-                        continue  # unregistered while the batch ran
+                for key, entry in snapshot:
+                    if self._pending.get(key) is not entry:
+                        # Unregistered while the batch ran — or timed
+                        # out and re-registered: the fresh waiter was
+                        # not in this batch and must not receive its
+                        # result.
+                        continue
                     entry.polls += 1
                     result = results.get(key) if results else None
                     if self.accept(result):
@@ -160,8 +189,10 @@ class PollMux:
                                        name=self.name, key=str(key),
                                        polls=entry.polls)
                         entry.event.succeed((result, entry.polls))
-                if detected:
-                    # Completions cluster: look again quickly.
+                if detected or self._fresh_mid_batch:
+                    # Completions cluster — and a job registered while
+                    # the batch was out still deserves its fast first
+                    # look: hold the floor either way.
                     self._set_interval(self.min_interval)
                 else:
                     self._set_interval(min(self._interval * self.backoff,
@@ -174,6 +205,7 @@ class PollMux:
                 self._wake = None
         finally:
             self._running = False
+            self._in_batch = False
             self._batch_gauge.set(0)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

@@ -30,6 +30,9 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.chaos` — self-healing drill: kill replicas at
   peak load; zero lost requests, bounded re-route detection, restart
   rejoins the ring
+* :mod:`~repro.scenarios.notify` — event-driven job lifecycle: mixed
+  notify/poll testbed, push detection lag vs the poll floor, durable
+  queue drained
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
@@ -41,6 +44,7 @@ from repro.scenarios.faults import FaultsResult, run_faults
 from repro.scenarios.fig6 import Fig6Result, run_fig6
 from repro.scenarios.fig7 import Fig7Result, run_fig7
 from repro.scenarios.fig8 import Fig8Result, run_fig8
+from repro.scenarios.notify import NotifyResult, run_notify
 from repro.scenarios.overhead import OverheadResult, run_overhead
 from repro.scenarios.scalability import ScalabilityResult, run_scalability
 from repro.scenarios.scaleout import ScaleoutResult, run_scaleout
@@ -62,4 +66,5 @@ __all__ = [
     "ScaleoutResult", "run_scaleout",
     "ControlTowerResult", "run_controltower",
     "ChaosResult", "run_chaos",
+    "NotifyResult", "run_notify",
 ]

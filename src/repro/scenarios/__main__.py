@@ -6,9 +6,10 @@ rendered report — the same output the benchmarks save under
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
 bottleneck, faults, throughput, datapath, scaleout, controltower,
-chaos, all.  ``--smoke`` shrinks the workloads that support it
+chaos, notify, all.  ``--smoke`` shrinks the workloads that support it
 (currently ``bottleneck``, ``faults``, ``throughput``, ``datapath``,
-``scaleout``, ``controltower`` and ``chaos``) for fast CI validation.
+``scaleout``, ``controltower``, ``chaos`` and ``notify``) for fast CI
+validation.
 """
 
 from __future__ import annotations
@@ -19,8 +20,8 @@ from typing import Callable, Dict
 
 from repro.scenarios import (
     run_bottleneck, run_chaos, run_controltower, run_datapath, run_faults,
-    run_fig6, run_fig7, run_fig8, run_overhead, run_scalability,
-    run_scaleout, run_smallfiles, run_throughput,
+    run_fig6, run_fig7, run_fig8, run_notify, run_overhead,
+    run_scalability, run_scaleout, run_smallfiles, run_throughput,
 )
 from repro.units import MB
 
@@ -106,6 +107,17 @@ def _chaos() -> str:
     return result.render()
 
 
+def _notify() -> str:
+    result = run_notify(smoke=_SMOKE)
+    if not result.ok:
+        # The push-path claims (near-zero detection lag, zero poller
+        # exchanges on notify sites, drained durable queue) are CI's
+        # gate for the event-driven lifecycle: a miss fails the job.
+        print(result.render())
+        raise SystemExit(1)
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
@@ -120,6 +132,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "scaleout": _scaleout,
     "controltower": _controltower,
     "chaos": _chaos,
+    "notify": _notify,
 }
 
 

@@ -88,6 +88,8 @@ def _classify(name: str) -> str:
         return "grid/transfer"     # payload staging over the uplink
     if prefix == "gram":
         return "grid/transfer"     # gatekeeper control exchanges
+    if prefix == "notify":
+        return "grid/transfer"     # push-path callback traffic
     if prefix in ("service", "onserve", "uddi", "management", "portal"):
         return "core/compute"      # middleware work on the appliance
     return "other/compute"
@@ -164,9 +166,16 @@ def _span_window(node: TraceSpan, fallback_end: float) -> Interval:
 def _split_polling_idle(attribution: Attribution, idle: List[Interval],
                         job_id: Optional[str],
                         bus: Optional[EventBus]) -> None:
-    """Split polling-span idle time into queueing/compute/detection."""
+    """Split polling-span idle time into queueing/compute/detection.
+
+    The push path (a ``notify:await`` span) gets the same treatment,
+    with one refinement: idle time between the job finishing and its
+    terminal notification *arriving* is the queue's propagation delay
+    in flight — ``notify/propagation`` — not middleware-side waiting.
+    """
     queue_iv: Optional[Interval] = None
     run_iv: Optional[Interval] = None
+    push_iv: Optional[Interval] = None
     if bus is not None and job_id:
         submit = bus.first("sched.submit", job_id=job_id)
         start = bus.first("sched.start", job_id=job_id)
@@ -176,6 +185,14 @@ def _split_polling_idle(attribution: Attribution, idle: List[Interval],
         if start is not None:
             run_iv = (start.ts, finish.ts if finish is not None
                       else float("inf"))
+        if finish is not None:
+            # The first delivery at or after the finish is the terminal
+            # one (earlier deliveries carried pre-terminal states).
+            arrivals = [ev.ts for ev in bus.events("notify.deliver")
+                        if ev.fields.get("job_id") == job_id
+                        and ev.ts >= finish.ts]
+            if arrivals:
+                push_iv = (finish.ts, min(arrivals))
     for gap in idle:
         remaining = gap[1] - gap[0]
         if queue_iv is not None:
@@ -186,9 +203,14 @@ def _split_polling_idle(attribution: Attribution, idle: List[Interval],
             ran = _overlap(gap, run_iv)
             attribution.add("grid/compute", ran)
             remaining -= ran
-        # Whatever idle time was neither queueing nor running is the
-        # watchdog's detection lag (sleeping past job completion, or
-        # pre-submission setup) — middleware-side waiting.
+        if push_iv is not None:
+            in_flight = _overlap(gap, push_iv)
+            attribution.add("notify/propagation", in_flight)
+            remaining -= in_flight
+        # Whatever idle time was neither queueing nor running (nor a
+        # notification in flight) is the watchdog's detection lag
+        # (sleeping past job completion, or pre-submission setup) —
+        # middleware-side waiting.
         attribution.add("core/queueing", remaining)
 
 
@@ -219,7 +241,7 @@ def analyze_request(ctx: RequestContext,
         covered = _merge([_span_window(child, root_window[1])
                           for child in node.children])
         self_intervals = _complement(window, covered)
-        if node.name == "service:polling":
+        if node.name in ("service:polling", "notify:await"):
             _split_polling_idle(attribution, self_intervals,
                                 node.meta.get("job"), bus)
         else:

@@ -1,0 +1,146 @@
+"""End-to-end push path: subscription detection, fallback, failover."""
+
+from repro.core.invocation import discover_and_invoke
+from repro.core.onserve import OnServeConfig, deploy_onserve
+from repro.errors import OnServeError
+from repro.faults import FaultSpec
+from repro.grid import build_testbed
+from repro.grid.notify import JOB_STATES_TABLE
+from repro.simkernel import Simulator
+from repro.telemetry.events import bus
+from repro.units import KB, Mbps
+from repro.workloads import make_payload
+
+import pytest
+
+
+def deploy(n_users=1, n_sites=1, **cfg_kw):
+    sim = Simulator(seed=0)
+    tb = build_testbed(sim=sim, n_sites=n_sites, nodes_per_site=2,
+                       cores_per_node=4, appliance_uplink=Mbps(10),
+                       n_users=n_users)
+    cfg_kw.setdefault("notify", True)
+    config = OnServeConfig(datapath=True, **cfg_kw)
+    stack = sim.run(until=deploy_onserve(tb, config))
+    return sim, tb, stack
+
+
+def upload(sim, tb, stack):
+    payload = make_payload("sleep", size=int(KB(32)))
+    sim.run(until=stack.portal.upload_and_generate(
+        tb.user_hosts[0], "sleeper.bin", payload,
+        params_spec="seconds:double"))
+
+
+def test_push_completion_runs_zero_poll_rounds():
+    sim, tb, stack = deploy()
+    upload(sim, tb, stack)
+    out = sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[0], "Sleeper%", seconds=5.0))
+    assert out == "slept\n"
+    counts = bus(sim).counts()
+    # Detection came by subscription: no batched or per-job polling.
+    assert counts.get("poller.batch", 0) == 0
+    assert counts.get("notify.publish", 0) >= 2  # pending + done
+    detected = bus(sim).first("core.output_detected")
+    assert detected.fields["pushed"] and detected.fields["polls"] == 0
+    runtime = next(iter(stack.onserve.runtimes.values()))
+    report = runtime.reports[-1]
+    assert report.ok and report.polls == 0
+    # The scheduler finished the job exactly one propagation before.
+    finish = bus(sim).first("sched.finish",
+                            job_id=detected.fields["job_id"])
+    lag = detected.ts - finish.ts
+    assert lag == pytest.approx(stack.onserve.config.notify_propagation)
+
+
+def test_job_states_table_tracks_the_lifecycle():
+    sim, tb, stack = deploy()
+    upload(sim, tb, stack)
+    sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[0], "Sleeper%", seconds=3.0))
+    queue = stack.onserve.notify_queue
+    rows = queue.db.select(JOB_STATES_TABLE, lambda r: True)
+    assert len(rows) == 1  # upsert: one row per job, latest state
+    assert rows[0]["state"] == "done" and rows[0]["terminal"]
+    assert queue.depth == 0 and queue.delivered == queue.published
+    # An intermediate state was pushed at submit (already "active" when
+    # free cores start the job in the same frame) and the terminal one
+    # closed the lifecycle.
+    states = [ev.fields["state"]
+              for ev in bus(sim).events(kind="notify.publish")]
+    assert states[0] in ("pending", "active") and states[-1] == "done"
+
+
+def test_incapable_site_falls_back_to_the_poll_mux():
+    sim, tb, stack = deploy(notify_sites=())  # queue attached, no sites
+    upload(sim, tb, stack)
+    out = sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[0], "Sleeper%", seconds=5.0))
+    assert out == "slept\n"
+    counts = bus(sim).counts()
+    # The ladder stepped down one rung: batched polling did the work.
+    assert counts.get("poller.batch", 0) > 0
+    assert counts.get("notify.publish", 0) == 0
+    queue = stack.onserve.notify_queue
+    assert queue.published == 0
+    assert queue.db.select(JOB_STATES_TABLE, lambda r: True) == []
+
+
+def test_mixed_capability_splits_by_site():
+    sim, tb, stack = deploy(n_users=2, n_sites=2,
+                            notify_sites=("ncsa",),
+                            site_policy="round_robin")
+    upload(sim, tb, stack)
+    results = []
+
+    def invoke(i):
+        def op():
+            out = yield discover_and_invoke(
+                stack, stack.user_clients[i], "Sleeper%",
+                seconds=4.0 + 3.0 * i)
+            results.append(out)
+
+        return sim.process(op(), name=f"invoke:{i}")
+
+    sim.run(until=sim.all_of([invoke(i) for i in range(2)]))
+    assert results == ["slept\n"] * 2
+    pushed = {ev.fields["job_id"].split("-job-")[0]: ev.fields["pushed"]
+              for ev in bus(sim).events(kind="core.output_detected")}
+    assert pushed == {"ncsa": True, "sdsc": False}
+    # Lifecycle rows exist only where the capability does.
+    queue = stack.onserve.notify_queue
+    sites = {r["site"]
+             for r in queue.db.select(JOB_STATES_TABLE, lambda r: True)}
+    assert sites == {"ncsa"}
+
+
+def test_lost_job_error_notification_drives_failover():
+    sim, tb, stack = deploy(n_sites=2, site_policy="round_robin",
+                            notify_sites=("*",))
+    upload(sim, tb, stack)
+    tb.install_faults([FaultSpec("gram.lost_job", max_fires=1)])
+    out = sim.run(until=discover_and_invoke(
+        stack, stack.user_clients[0], "Sleeper%", seconds=4.0))
+    assert out == "slept\n"
+    counts = bus(sim).counts()
+    # The notify-capable gatekeeper *pushed* the loss: JobNotFound came
+    # from the error callback, not from a timed-out poll, and failover
+    # landed the work on the other site.
+    assert counts.get("core.failover", 0) == 1
+    lost = [ev for ev in bus(sim).events(kind="notify.publish")
+            if ev.fields["state"] == "lost"]
+    assert len(lost) == 1
+    queue = stack.onserve.notify_queue
+    rows = queue.db.select(JOB_STATES_TABLE, lambda r: True)
+    by_job = {r["job_id"]: r for r in rows}
+    assert sorted(r["state"] for r in by_job.values()) == ["done", "lost"]
+
+
+def test_config_validation_and_default_off():
+    with pytest.raises(OnServeError):
+        OnServeConfig(notify_propagation=0.0)
+    assert OnServeConfig().notify is False
+    # notify off -> no queue object on the deployed stack at all.
+    sim, tb, stack = deploy(notify=False)
+    assert stack.onserve.notify_queue is None

@@ -261,6 +261,109 @@ def test_await_mux_propagates_batch_failure():
         sim.run(until=sim.process(flow()))
 
 
+def test_register_mid_batch_keeps_snap_to_floor():
+    """Regression: a key registered while a quiet batch is in flight
+    snaps the interval to the floor, and the quiet round's backoff must
+    not immediately multiply it away (the "fresh job deserves a fast
+    first look" contract)."""
+    sim = Simulator()
+    # Batch exchanges take 1s; "a" never finishes, "b" finishes at 3s.
+    mux = make_mux(sim, {"a": 1e9, "b": 3.0}, cost=1.0)
+    detected = {}
+
+    def first():
+        yield mux.register("a")
+
+    def second():
+        yield sim.timeout(0.5)  # the first batch poll is in flight
+        result, polls = yield mux.register("b")
+        detected["b"] = sim.now
+
+    sim.process(first(), name="first")
+    sim.run(until=sim.process(second(), name="second"))
+    # Round 1 (quiet, b unseen) ends at t=1; the floor survives it, so
+    # round 2 launches at t=3 and detects b at t=4.  With the backoff
+    # bug the floor became min*backoff=4s and detection slipped to t=6.
+    assert detected["b"] == 4.0
+    intervals = [ev.fields["interval"]
+                 for ev in bus(sim).events(kind="poller.batch")]
+    assert intervals[:2] == [2.0, 2.0]
+
+
+def test_mid_batch_registrant_survives_batch_failure():
+    """Regression: a batch failure fails only the waiters that batch
+    actually covered — a key registered while it was in flight was
+    never polled, stays pending, and the restarted loop detects it."""
+    sim = Simulator()
+    calls = {"n": 0}
+
+    def batch_poll(batch):
+        def op():
+            calls["n"] += 1
+            attempt = calls["n"]
+            yield sim.timeout(1.0)
+            if attempt == 1:
+                raise GridError("transient gatekeeper fault")
+            return {key: {"ready": True} for key, _token in batch}
+
+        return sim.process(op(), name="batch")
+
+    mux = PollMux(sim, "site", batch_poll,
+                  accept=lambda r: r is not None and r["ready"])
+    outcomes = {}
+
+    def first():
+        try:
+            yield mux.register("a")
+        except GridError as exc:
+            outcomes["a"] = exc
+
+    def second():
+        yield sim.timeout(0.5)  # the doomed batch is in flight
+        result, polls = yield mux.register("b")
+        outcomes["b"] = (result, polls, sim.now)
+
+    sim.run(until=sim.all_of([sim.process(first(), name="first"),
+                              sim.process(second(), name="second")]))
+    # "a" was in the failed batch and got its error...
+    assert isinstance(outcomes["a"], GridError)
+    # ...but "b" was not: it survived, the loop restarted promptly, and
+    # the very next round (t=1 -> t=2) detected it on its first poll.
+    result, polls, at = outcomes["b"]
+    assert result["ready"] and polls == 1
+    assert at == 2.0
+    assert mux.pending == 0
+
+
+def test_await_mux_timeout_then_reregister_same_key():
+    """Regression: after a waiter times out mid-batch, re-registering
+    the same key must hand the *fresh* waiter a result from a poll made
+    after its registration — never the in-flight batch's result for the
+    abandoned predecessor."""
+    sim = Simulator()
+    # Slow exchanges (5s) so the deadline fires while a batch is out;
+    # the job "finishes" at t=4, inside the first batch's flight.
+    mux = make_mux(sim, {"j": 4.0}, cost=5.0)
+    history = []
+
+    def flow():
+        try:
+            yield await_mux(sim, mux, "j", None, timeout=2.0)
+        except WatchdogTimeout:
+            history.append(("timeout", sim.now))
+        result, polls = yield await_mux(sim, mux, "j", None, timeout=60.0)
+        history.append(("detected", sim.now, polls))
+        return result
+
+    result = sim.run(until=sim.process(flow(), name="flow"))
+    assert result["ready"]
+    # The first batch (t=0 -> t=5) must not satisfy the re-registered
+    # waiter (registered at t=2): after one floor-interval sleep the
+    # next round (t=7 -> t=12) detects it on its *own* first poll.
+    assert history == [("timeout", 2.0), ("detected", 12.0, 1)]
+    assert mux.pending == 0
+
+
 def test_await_mux_rejects_bad_timeout():
     sim = Simulator()
     mux = make_mux(sim, {})

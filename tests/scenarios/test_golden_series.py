@@ -155,6 +155,57 @@ def test_goldens_unchanged_with_idle_healing_plane_attached(
 
 
 @pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_idle_notify_queue_attached(
+        name, monkeypatch):
+    """An attached durable queue with no capable site must stay inert.
+
+    The notification-plane determinism contract (DESIGN.md §14): a
+    :class:`~repro.grid.notify.NotifyQueue` wired to the stack — every
+    gatekeeper attached as *incapable* — publishes nothing, schedules
+    nothing and leaves both durable tables empty, because the only
+    event source is ``publish`` and only capable gatekeepers call it.
+    Re-running each figure with one attached must reproduce the
+    committed goldens byte-for-byte.
+    """
+    import repro.scenarios.common as common
+    from repro.grid.notify import (
+        JOB_STATES_TABLE, NOTIFY_QUEUE_TABLE, NotifyQueue,
+    )
+
+    real_deploy = common.deploy_onserve
+    queues = []
+
+    def notify_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+
+        def attach_idle_queue(ev):
+            if not ev._ok:
+                return
+            stack = ev._value
+            queue = NotifyQueue(stack.sim, stack.dbmanager.db)
+            queues.append(queue)
+            for gatekeeper in testbed.gatekeepers.values():
+                gatekeeper.attach_notify(queue, capable=False)
+            stack.onserve.notify_queue = queue
+
+        proc.add_callback(attach_idle_queue)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", notify_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with an idle notify queue attached — the "
+        f"incapable notification plane perturbed the simulation")
+    # Provably idle: nothing published, both durable tables empty.
+    assert queues
+    queue = queues[-1]
+    assert queue.published == 0 and queue.capable_sites == []
+    assert queue.db.select(JOB_STATES_TABLE, lambda r: True) == []
+    assert queue.db.select(NOTIFY_QUEUE_TABLE, lambda r: True) == []
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
 def test_goldens_unchanged_with_control_tower_attached(name, monkeypatch):
     """An attached-but-observing control tower must not perturb a run.
 
