@@ -1,0 +1,41 @@
+"""DB tier scale-out: upload storm vs invocation p95.
+
+Runs the :mod:`repro.scenarios.dbscale` three-arm ablation at the full
+100 MB BLOB size and saves the paper-shaped report — the measured
+numbers behind the EXPERIMENTS.md DBSCALE entry.  The headline claims
+are gated here too: with the optimizations off, a storm of concurrent
+re-uploads measurably spikes invocation p95 (readers queue on the
+single connection behind multi-second stores, each fetch parking the
+whole BLOB in RAM); with MVCC snapshot reads + WAL-shipping read
+replicas + chunked BLOB streaming, the same storm leaves p95 within
+10% of the no-storm baseline, per-fetch resident payload bounded by
+two chunk sizes, and every replica read inside the staleness bound.
+"""
+
+from repro.scenarios.dbscale import run_dbscale
+
+
+def test_dbscale_upload_storm(benchmark, save_report):
+    def run():
+        return run_dbscale(n=8)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("dbscale", result.render())
+    # Every invocation succeeds in every arm.
+    for arm in (result.baseline, result.locked, result.scaled):
+        assert arm.n_ok == arm.n
+    # The problem is real: the storm spikes p95 when the tier is off,
+    # and the spike is lock queueing, not ambient contention.
+    assert result.spike_factor > 1.10
+    assert result.locked.lock_wait_total > 0
+    # The headline gate: MVCC + replicas + chunking hold p95 within
+    # 10% of the no-storm baseline under the same storm.
+    assert result.scaled_factor <= 1.10
+    # Chunked streaming bounds per-fetch residency by two chunk sizes;
+    # whole-BLOB fetches demonstrably park the entire payload.
+    assert result.scaled.peak_resident <= 2 * result.chunk_bytes
+    assert result.locked.peak_resident >= result.blob_bytes
+    # Replicas serve reads and the router's staleness guard holds.
+    assert result.scaled.replica_reads > 0
+    assert result.scaled.behind_ok
+    assert result.ok

@@ -36,7 +36,7 @@ from repro.core.onserve import (
 )
 from repro.core.registry import ServiceStateStore
 from repro.cyberaide.agent import AgentConfig, CyberaideAgent
-from repro.db.dbmanager import DbManager
+from repro.db.dbmanager import DbManager, DbTierConfig
 from repro.errors import OnServeError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host, HostSpec
@@ -396,8 +396,14 @@ def deploy_fabric(testbed: Testbed,
         # 2. The shared tiers: endpoint fabric, UDDI, DB + state store.
         fabric = SoapFabric()
         uddi = UddiRegistry()
-        db = dbmanager if dbmanager is not None else DbManager(primary)
-        store = ServiceStateStore(db.db)
+        db = dbmanager if dbmanager is not None else DbManager(
+            primary,
+            tier=DbTierConfig(mvcc=config.db_mvcc,
+                              serialize=config.db_serialize,
+                              chunk_bytes=config.db_chunk_bytes,
+                              replicas=config.db_replicas,
+                              replica_lag=config.db_replica_lag))
+        store = ServiceStateStore(db.db, read_router=db.read_router)
 
         # 3. Grid identity, once — replicas share the onserve principal.
         testbed.new_grid_identity(config.grid_username,

@@ -185,18 +185,41 @@ class GridServiceRuntime:
             #    Under coalescing, concurrent invocations share one DB
             #    fetch (the leader's) instead of N decompressions.
             mark = self.sim.now
+            chunked = cfg.db_chunk_bytes > 0
+            # When the DB-scale plane is on, fetch time gets its own
+            # db:fetch span so the critical-path analyzer attributes it
+            # to db/storage instead of folding it into service self-time.
+            db_tier_on = (chunked or cfg.db_mvcc or cfg.db_serialize
+                          or cfg.db_replicas > 0)
+            db_ctx = ctx if db_tier_on else None
             with span(ctx, "service:retrieval", executable=self.record.name):
-                def db_fetch():
-                    return (yield self.onserve.dbmanager.load_executable(
-                        self.record.name))
+                if chunked:
+                    # Streamed retrieval: each decompressed chunk goes
+                    # straight from the DB fetch to the temp file, so
+                    # resident RAM stays O(chunk) instead of O(blob).
+                    def db_fetch():
+                        def to_temp(nbytes):
+                            yield host.disk_write(nbytes)
+                        with span(db_ctx, "db:fetch",
+                                  executable=self.record.name):
+                            return (yield self.onserve.dbmanager
+                                    .load_executable(self.record.name,
+                                                     on_chunk=to_temp))
+                else:
+                    def db_fetch():
+                        with span(db_ctx, "db:fetch",
+                                  executable=self.record.name):
+                            return (yield self.onserve.dbmanager
+                                    .load_executable(self.record.name))
 
                 exe = yield from self.onserve.flights.do(
                     ("db-load", self.onserve.replica, self.record.name),
                     db_fetch, group="db-load")
-                host.allocate_memory(exe.size)
-                held_bytes = exe.size
-                # "stored in a temporary location"
-                yield host.disk_write(exe.size)
+                if not chunked:
+                    host.allocate_memory(exe.size)
+                    held_bytes = exe.size
+                    # "stored in a temporary location"
+                    yield host.disk_write(exe.size)
             report.retrieval = self.sim.now - mark
 
             # 2. Authentication through the agent (cached while fresh).
@@ -241,13 +264,21 @@ class GridServiceRuntime:
                             request_id=ctx.request_id if ctx else None,
                             key=f"{site}:{staged}")
                     if not staged_hit:
-                        if held_bytes == 0:
+                        if chunked:
+                            pass  # payload streams off the temp copy
+                        elif held_bytes == 0:
                             # Failover re-stage: the payload comes back
                             # into RAM for the second GridFTP trip.
                             host.allocate_memory(exe.size)
                             held_bytes = exe.size
 
                         def stage():
+                            if chunked:
+                                # Read the temp copy back for the
+                                # GridFTP trip; the blob never re-enters
+                                # RAM whole.
+                                yield host.disk_read(exe.size)
+
                             def upload_try():
                                 session = yield from self._ensure_session(
                                     ctx)
@@ -275,8 +306,9 @@ class GridServiceRuntime:
                             ("stage", self.onserve.replica, site, staged,
                              digest), stage, group="staging")
                     # The buffer is staged (or cached); collect it now.
-                    host.release_memory(held_bytes)
-                    held_bytes = 0
+                    if held_bytes:
+                        host.release_memory(held_bytes)
+                        held_bytes = 0
                 report.upload += self.sim.now - mark
 
                 # 4.+5. Job description generation + submission.

@@ -30,7 +30,7 @@ from repro.core.registry import ServiceStateStore
 from repro.core.service_builder import ServiceBuilder
 from repro.cyberaide.agent import AgentConfig, CyberaideAgent
 from repro.cyberaide.jobspec import staged_path_for
-from repro.db.dbmanager import DbManager
+from repro.db.dbmanager import DbManager, DbTierConfig
 from repro.errors import OnServeError, ServiceNotFound, UddiError, UploadError
 from repro.grid.testbed import Testbed
 from repro.hardware.host import Host
@@ -82,7 +82,12 @@ class OnServeConfig:
                  ftp_session_idle: float = 600.0,
                  notify: bool = False,
                  notify_sites: tuple = ("*",),
-                 notify_propagation: float = 0.5):
+                 notify_propagation: float = 0.5,
+                 db_mvcc: bool = False,
+                 db_serialize: bool = False,
+                 db_chunk_bytes: int = 0,
+                 db_replicas: int = 0,
+                 db_replica_lag: float = 0.5):
         if site_policy not in ("best", "round_robin", "random"):
             raise OnServeError(f"unknown site policy {site_policy!r}")
         if failover_sites < 0:
@@ -167,6 +172,31 @@ class OnServeConfig:
         #: state-change message — the whole detection lag of the push
         #: path.
         self.notify_propagation = notify_propagation
+        if db_chunk_bytes < 0:
+            raise OnServeError("db_chunk_bytes must be >= 0")
+        if db_replicas < 0:
+            raise OnServeError("db_replicas must be >= 0")
+        if db_replica_lag < 0:
+            raise OnServeError("db_replica_lag must be >= 0")
+        #: DB tier scale-out (ROADMAP item 2), all off by default so the
+        #: goldens pin the single-connection whole-BLOB timeline.
+        #: MVCC snapshot reads: executable fetches read the last
+        #: committed row through a snapshot handle instead of blocking
+        #: behind an in-flight store's open transaction.
+        self.db_mvcc = db_mvcc
+        #: Model DB connection contention: a store holds the FIFO
+        #: connection lock (and its transaction) across its CPU/disk
+        #: time; non-MVCC reads queue behind it.
+        self.db_serialize = db_serialize
+        #: Chunked BLOB streaming: fetch payloads in chunks of this many
+        #: bytes (0 = whole-BLOB), bounding resident payload memory to
+        #: two chunks per fetch.
+        self.db_chunk_bytes = db_chunk_bytes
+        #: WAL-shipping read replicas for discovery/WSDL/lease/notify
+        #: replay reads, with a bounded-staleness read router.
+        self.db_replicas = db_replicas
+        #: Modeled WAL ship+apply lag per replica, seconds.
+        self.db_replica_lag = db_replica_lag
 
 
 class OnServe:
@@ -194,7 +224,8 @@ class OnServe:
         #: A lone appliance creates its own store over its own database;
         #: ``deploy_fabric`` passes one shared store to every replica.
         self.store = store if store is not None \
-            else ServiceStateStore(dbmanager.db)
+            else ServiceStateStore(dbmanager.db,
+                                   read_router=dbmanager.read_router)
         #: Set by ``deploy_fabric`` when a request router fronts this
         #: replica; generated services then publish the router endpoint.
         self.router = None
@@ -880,7 +911,13 @@ def deploy_onserve(testbed: Testbed,
         soap_server = SoapServer(testbed.appliance_host, fabric)
         uddi = UddiRegistry()
         db = dbmanager if dbmanager is not None \
-            else DbManager(testbed.appliance_host)
+            else DbManager(testbed.appliance_host,
+                           tier=DbTierConfig(
+                               mvcc=config.db_mvcc,
+                               serialize=config.db_serialize,
+                               chunk_bytes=config.db_chunk_bytes,
+                               replicas=config.db_replicas,
+                               replica_lag=config.db_replica_lag))
         agent = CyberaideAgent(
             testbed.appliance_host, testbed,
             AgentConfig(status_supported=config.status_supported,
@@ -903,7 +940,8 @@ def deploy_onserve(testbed: Testbed,
             # keep the poll ladder).
             from repro.grid.notify import NotifyQueue
             queue = NotifyQueue(sim, db.db,
-                                propagation=config.notify_propagation)
+                                propagation=config.notify_propagation,
+                                read_router=db.read_router)
             for name, gatekeeper in testbed.gatekeepers.items():
                 capable = ("*" in config.notify_sites
                            or name in config.notify_sites)

@@ -117,8 +117,13 @@ _DEDUP_SCHEMA = [
 class ServiceStateStore:
     """Replicated service state over the shared database engine."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, read_router: Optional[Any] = None):
         self.db = db
+        #: Optional :class:`~repro.db.replica.ReadRouter`: when present,
+        #: read-only lookups go to a caught-up replica; every write —
+        #: and the dedup check, which is correctness-critical — stays on
+        #: the primary.
+        self.read_router = read_router
         for table, schema in ((SERVICE_TABLE, _SERVICE_SCHEMA),
                               (STAGED_TABLE, _STAGED_SCHEMA),
                               (LEASE_TABLE, _LEASE_SCHEMA),
@@ -138,6 +143,18 @@ class ServiceStateStore:
         #: Invocations that completed twice (must stay 0: each one is a
         #: request the idempotency layer failed to deduplicate).
         self.dedup_duplicates = 0
+
+    def _read(self, table: str) -> Database:
+        """The database a read-only op on *table* should use.
+
+        With a router attached this may be a WAL-shipping replica — but
+        only when the bounded-staleness guard proves the replica has
+        applied every committed write to *table*, so read-modify-write
+        callers observe exactly what the primary holds.
+        """
+        if self.read_router is not None:
+            return self.read_router.reader(table)
+        return self.db
 
     # -- replica subscription (cache invalidation fan-out) -------------------
 
@@ -181,7 +198,7 @@ class ServiceStateStore:
 
     def get_record(self, service_name: str) -> Optional[Dict[str, Any]]:
         try:
-            return self.db.get_by_pk(SERVICE_TABLE, service_name)
+            return self._read(SERVICE_TABLE).get_by_pk(SERVICE_TABLE, service_name)
         except RecordNotFound:
             return None
 
@@ -208,11 +225,11 @@ class ServiceStateStore:
         self._fan_out(self._republished, service_name, origin)
 
     def all_records(self) -> List[Dict[str, Any]]:
-        rows = self.db.select(SERVICE_TABLE)
+        rows = self._read(SERVICE_TABLE).select(SERVICE_TABLE)
         return sorted(rows, key=lambda r: r["service_name"])
 
     def record_count(self) -> int:
-        return self.db.count(SERVICE_TABLE)
+        return self._read(SERVICE_TABLE).count(SERVICE_TABLE)
 
     def bump_invocations(self, service_name: str) -> int:
         row = self.get_record(service_name)
@@ -246,7 +263,7 @@ class ServiceStateStore:
 
     def staged_digest(self, site: str, path: str) -> Optional[str]:
         try:
-            return self.db.get_by_pk(
+            return self._read(STAGED_TABLE).get_by_pk(
                 STAGED_TABLE, self._staged_key(site, path))["digest"]
         except RecordNotFound:
             return None
@@ -265,7 +282,7 @@ class ServiceStateStore:
 
     def staged_copies(self) -> List[Tuple[str, str, str]]:
         """(site, path, digest) rows, ordered (test/inspection hook)."""
-        rows = self.db.select(STAGED_TABLE)
+        rows = self._read(STAGED_TABLE).select(STAGED_TABLE)
         return sorted((r["site"], r["path"], r["digest"]) for r in rows)
 
     # -- agent-session leases -------------------------------------------------
@@ -278,8 +295,8 @@ class ServiceStateStore:
                   ) -> Optional[Tuple[str, float]]:
         """(session, expires) for the replica's agent user, if leased."""
         try:
-            row = self.db.get_by_pk(LEASE_TABLE,
-                                    self._lease_key(replica, username))
+            row = self._read(LEASE_TABLE).get_by_pk(
+                LEASE_TABLE, self._lease_key(replica, username))
         except RecordNotFound:
             return None
         return row["session"], row["expires"]
@@ -324,17 +341,18 @@ class ServiceStateStore:
 
     def member(self, replica: str) -> Optional[Dict[str, Any]]:
         try:
-            return self.db.get_by_pk(MEMBER_TABLE, replica)
+            return self._read(MEMBER_TABLE).get_by_pk(MEMBER_TABLE, replica)
         except RecordNotFound:
             return None
 
     def members(self) -> List[Dict[str, Any]]:
-        rows = self.db.select(MEMBER_TABLE)
+        rows = self._read(MEMBER_TABLE).select(MEMBER_TABLE)
         return sorted(rows, key=lambda r: r["replica"])
 
     def expired_members(self, now: float) -> List[str]:
         """Replicas whose lease has lapsed at *now* (sorted)."""
-        return sorted(r["replica"] for r in self.db.select(MEMBER_TABLE)
+        return sorted(r["replica"]
+                      for r in self._read(MEMBER_TABLE).select(MEMBER_TABLE)
                       if r["expires"] <= now)
 
     def mark_draining(self, replica: str) -> None:

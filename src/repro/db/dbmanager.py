@@ -12,18 +12,55 @@ database") and the second disk-write peak in Figure 8.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.db.engine import Database
+from repro.db.replica import ReadReplica, ReadRouter
 from repro.db.table import Column
-from repro.errors import RecordNotFound, TransactionError
+from repro.errors import OnServeError, RecordNotFound, TransactionError
 from repro.faults.injector import get_injector
 from repro.hardware.host import Host
 from repro.simkernel.events import Event
 from repro.simkernel.process import Process
 from repro.units import MB
 
-__all__ = ["DbCostModel", "DbManager", "StoredExecutable"]
+__all__ = ["DbCostModel", "DbManager", "DbTierConfig", "StoredExecutable"]
+
+
+class DbTierConfig:
+    """How the DB tier behaves under concurrent load (all off by default).
+
+    The defaults reproduce the seed timeline byte-for-byte: statements
+    apply synchronously in one simulation frame, fetches materialize the
+    whole BLOB, and no replica exists.  Scenarios opt in to the scaled
+    tier feature by feature.
+    """
+
+    def __init__(self,
+                 mvcc: bool = False,
+                 serialize: bool = False,
+                 chunk_bytes: int = 0,
+                 replicas: int = 0,
+                 replica_lag: float = 0.5):
+        #: Snapshot-isolation reads: version chains + ``snapshot()`` handles.
+        self.mvcc = bool(mvcc)
+        #: Model connection contention: writers hold a FIFO lock (and the
+        #: transaction) across the store's CPU/disk time; non-MVCC readers
+        #: must queue behind it — the measured upload-storm spike.
+        self.serialize = bool(serialize)
+        #: Fetch BLOBs in fixed chunks of this size (0 = whole-BLOB).
+        self.chunk_bytes = int(chunk_bytes)
+        #: Number of WAL-shipping read replicas (0 = none).
+        self.replicas = int(replicas)
+        #: Modeled ship+apply propagation lag per replica, seconds.
+        self.replica_lag = float(replica_lag)
+        if self.chunk_bytes < 0:
+            raise OnServeError(f"chunk_bytes must be >= 0, got {chunk_bytes}")
+        if self.replicas < 0:
+            raise OnServeError(f"replicas must be >= 0, got {replicas}")
+        if self.replica_lag < 0:
+            raise OnServeError(
+                f"replica_lag must be >= 0, got {replica_lag}")
 
 
 class DbCostModel:
@@ -85,13 +122,33 @@ class DbManager:
     TABLE = "executables"
 
     def __init__(self, host: Host, db: Optional[Database] = None,
-                 costs: Optional[DbCostModel] = None):
+                 costs: Optional[DbCostModel] = None,
+                 tier: Optional[DbTierConfig] = None):
         self.host = host
         self.sim = host.sim
-        self.db = db if db is not None else Database()
+        self.tier = tier or DbTierConfig()
+        self.db = db if db is not None else Database(mvcc=self.tier.mvcc)
+        if self.tier.mvcc:
+            self.db.mvcc = True  # honor the tier on a passed-in engine
         self.costs = costs or DbCostModel()
         if self.TABLE not in self.db.tables:
             self.db.create_table(self.TABLE, _SCHEMA)
+        # Connection lock (db_serialize): FIFO handoff, pure python —
+        # the wait event exists only when there is actual contention.
+        self._lock_held = False
+        self._lock_waiters: List[Event] = []
+        # WAL-shipping read replicas + the bounded-staleness router.
+        self.replicas: List[ReadReplica] = [
+            ReadReplica(self.sim, self.db, lag=self.tier.replica_lag,
+                        name=f"db-replica-{i + 1}")
+            for i in range(self.tier.replicas)
+        ]
+        self.read_router: Optional[ReadRouter] = (
+            ReadRouter(self.sim, self.db, tuple(self.replicas),
+                       lag=self.tier.replica_lag)
+            if self.replicas else None)
+        self._snap_gauge = None
+        self._chunk_gauge = None
         # Observability plane: WAL pressure as a gauge + append events.
         # The log itself stays telemetry-free (it has no simulator); the
         # manager, which owns the clock, feeds the plane via the log's
@@ -110,6 +167,57 @@ class DbManager:
 
         self.db.wal.observer = _on_wal_change
 
+    # -- connection lock (db_serialize) -------------------------------------
+
+    def _acquire_conn(self) -> Generator[Event, None, float]:
+        """Take the FIFO connection lock; returns the seconds waited.
+
+        Uncontended acquisition is frame-synchronous (no event is
+        created), so an enabled-but-idle serialized tier cannot perturb
+        the timeline.
+        """
+        t0 = self.sim.now
+        if self._lock_held:
+            waiter = self.sim.event(name="db:lock-wait")
+            self._lock_waiters.append(waiter)
+            yield waiter
+        self._lock_held = True
+        waited = self.sim.now - t0
+        if waited > 0:
+            from repro.telemetry.events import bus
+            bus(self.sim).emit("db.lock.wait", layer="db", waited=waited)
+        return waited
+
+    def _release_conn(self) -> None:
+        if self._lock_waiters:
+            # Direct handoff: the lock stays held for the next waiter,
+            # so nobody can barge in between release and resume.
+            self._lock_waiters.pop(0).succeed()
+        else:
+            self._lock_held = False
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _note_snapshot_reads(self) -> None:
+        from repro.telemetry.gauges import gauges
+        if self._snap_gauge is None:
+            self._snap_gauge = gauges(self.sim).gauge("db.snapshot_reads")
+        self._snap_gauge.set(self.db.stats["snapshot_reads"])
+
+    def _set_chunk_stream(self, resident: float) -> None:
+        from repro.telemetry.gauges import gauges
+        if self._chunk_gauge is None:
+            self._chunk_gauge = gauges(self.sim).gauge("db.chunk_stream",
+                                                       unit="B")
+        self._chunk_gauge.set(resident)
+
+    def _emit_fetch(self, name: str, mode: str, size: int, chunks: int,
+                    resident_peak: float, waited: float) -> None:
+        from repro.telemetry.events import bus
+        bus(self.sim).emit("db.fetch", layer="db", name=name, mode=mode,
+                           nbytes=size, chunks=chunks,
+                           resident_peak=resident_peak, waited=waited)
+
     # -- executables --------------------------------------------------------
 
     def store_executable(self, name: str, payload: bytes,
@@ -122,7 +230,7 @@ class DbManager:
         what lets users re-upload a fixed executable.
         """
 
-        def op() -> Generator[Event, None, int]:
+        def faithful() -> Generator[Event, None, int]:
             compressed = zlib.compress(payload, level=6)
             # CPU: compression cost scales with the uncompressed size.
             yield self.host.compute(
@@ -154,37 +262,190 @@ class DbManager:
                 ])
             return len(compressed)
 
+        def serialized() -> Generator[Event, None, int]:
+            # Contended tier: the writer occupies the single connection
+            # across the operation's CPU and disk time, the way the
+            # original's single JDBC connection did.  Non-MVCC readers
+            # queue on the lock — that is the spike dbscale measures;
+            # MVCC snapshot readers skip it entirely.  The engine
+            # transaction itself stays frame-synchronous (begin and
+            # commit in one frame, after the I/O): other subsystems'
+            # bookkeeping writes (staging marks, leases, notify rows)
+            # run in their own frames and must never find a foreign
+            # transaction left open across a yield.
+            compressed = zlib.compress(payload, level=6)
+            yield from self._acquire_conn()
+            try:
+                yield self.host.compute(
+                    self.costs.compress_cpu_per_mb * len(payload) / MB(1)
+                    + self.costs.statement_cpu,
+                    tag="db",
+                )
+                injector = get_injector(self.sim)
+                if injector is not None:
+                    stall = injector.fire("db.stall")
+                    if stall is not None and stall.duration > 0:
+                        yield self.sim.timeout(stall.duration,
+                                               name="fault:db-stall")
+                    if injector.fire("db.txn_error"):
+                        raise TransactionError(
+                            f"storing {name!r}: commit aborted "
+                            f"(transient WAL write failure)")
+                yield self.host.disk_write(
+                    len(compressed) + self.costs.commit_disk_overhead)
+                with self.db.transaction():
+                    self.db.delete_where(
+                        self.TABLE, lambda r: r["name"] == name)
+                    self.db.insert(self.TABLE, [
+                        name, description, params_spec, compressed,
+                        len(payload), len(compressed), self.sim.now,
+                    ])
+            finally:
+                self._release_conn()
+            return len(compressed)
+
+        op = serialized if self.tier.serialize else faithful
         return self.sim.process(op(), name=f"db-store:{name}")
 
-    def load_executable(self, name: str) -> Process:
+    def load_executable(self, name: str,
+                        on_chunk: Optional[Callable[[float], Any]] = None
+                        ) -> Process:
         """Load and decompress the executable *name* (a simulation process).
 
         The process-event's value is a :class:`StoredExecutable`; it fails
         with :class:`~repro.errors.RecordNotFound` for unknown names.
+
+        Tier behaviour: with MVCC the row lookup goes through a
+        :meth:`~repro.db.engine.Database.snapshot` handle (never blocked
+        by — and blind to — an open writer transaction); with a
+        serialized non-MVCC tier the read queues on the connection lock
+        behind in-flight stores.  With ``chunk_bytes > 0`` the payload
+        streams in fixed chunks — *on_chunk*, when given, is called per
+        chunk with its byte count and must return a process generator
+        (the consumer); fetch of chunk ``i+1`` is pipelined with the
+        consumer of chunk ``i``, so at most two chunks are resident.
         """
 
         def op() -> Generator[Event, None, StoredExecutable]:
-            yield self.host.compute(self.costs.statement_cpu, tag="db")
-            record = self.db.get_by_pk(self.TABLE, name)  # raises RecordNotFound
-            # Disk: read the compressed blob from the heap.
-            yield self.host.disk_read(record["compressed_size"])
-            # CPU: decompression scales with the uncompressed size — this
-            # is the paper's "loading and decompressing" CPU peak.
-            yield self.host.compute(
-                self.costs.decompress_cpu_per_mb * record["size"] / MB(1),
-                tag="db",
-            )
-            payload = zlib.decompress(record["data"])
-            return StoredExecutable(
-                name=record["name"],
-                payload=payload,
-                description=record["description"],
-                params_spec=record["params_spec"],
-                compressed_size=record["compressed_size"],
-                stored_at=record["stored_at"],
-            )
+            waited = 0.0
+            locked = False
+            if self.tier.serialize and not self.db.mvcc:
+                waited = yield from self._acquire_conn()
+                locked = True
+            try:
+                yield self.host.compute(self.costs.statement_cpu, tag="db")
+                if self.db.mvcc:
+                    with self.db.snapshot() as snap:
+                        record = snap.get_by_pk(self.TABLE, name)
+                    self._note_snapshot_reads()
+                else:
+                    record = self.db.get_by_pk(self.TABLE, name)
+                if self.tier.chunk_bytes > 0:
+                    # The connection is occupied for the row lookup
+                    # only; the chunk loop streams from the local spool.
+                    if locked:
+                        self._release_conn()
+                        locked = False
+                    return (yield from self._fetch_chunked(
+                        name, record, on_chunk, waited))
+                # Disk: the compressed blob travels over the connection.
+                yield self.host.disk_read(record["compressed_size"])
+                if locked:
+                    # The blob is in the driver's buffer; decompression
+                    # is local CPU and does not occupy the connection.
+                    self._release_conn()
+                    locked = False
+                # CPU: decompression scales with the uncompressed size —
+                # this is the paper's "loading and decompressing" CPU peak.
+                yield self.host.compute(
+                    self.costs.decompress_cpu_per_mb * record["size"] / MB(1),
+                    tag="db",
+                )
+                payload = zlib.decompress(record["data"])
+                self._emit_fetch(name, "whole", record["size"], 1,
+                                 record["size"], waited)
+                return StoredExecutable(
+                    name=record["name"],
+                    payload=payload,
+                    description=record["description"],
+                    params_spec=record["params_spec"],
+                    compressed_size=record["compressed_size"],
+                    stored_at=record["stored_at"],
+                )
+            finally:
+                if locked:
+                    self._release_conn()
 
         return self.sim.process(op(), name=f"db-load:{name}")
+
+    def _fetch_chunked(self, name: str, record: Dict[str, Any],
+                       on_chunk: Optional[Callable[[float], Any]],
+                       waited: float
+                       ) -> Generator[Event, None, StoredExecutable]:
+        """Stream the BLOB in fixed chunks with double-buffering.
+
+        Simulated residency is charged per chunk (allocate -> consume ->
+        release), so the peak is at most two chunk sizes regardless of
+        BLOB size; the real payload bytes are still reassembled and
+        returned, because they are the data plane of the simulation.
+        """
+        size = int(record["size"])
+        csize = record["compressed_size"]
+        data = record["data"]
+        chunk = self.tier.chunk_bytes
+        n = max(1, (size + chunk - 1) // chunk) if size > 0 else 1
+        decomp = zlib.decompressobj()
+        parts: List[bytes] = []
+        resident = 0.0
+        peak = 0.0
+        consumer: Optional[Process] = None
+        prev_bytes = 0.0
+        for i in range(n):
+            this_bytes = float(min(chunk, size - i * chunk)) if size else 0.0
+            lo = i * len(data) // n
+            hi = (i + 1) * len(data) // n
+            self.host.allocate_memory(this_bytes)
+            resident += this_bytes
+            peak = max(peak, resident)
+            self._set_chunk_stream(resident)
+            yield self.host.disk_read(csize / n)
+            yield self.host.compute(
+                self.costs.decompress_cpu_per_mb * this_bytes / MB(1),
+                tag="db",
+            )
+            part = decomp.decompress(data[lo:hi])
+            if i == n - 1:
+                part += decomp.flush()
+            parts.append(part)
+            if on_chunk is not None:
+                if consumer is not None:
+                    # Pipelined: we fetched chunk i while the consumer
+                    # still worked on chunk i-1; join before recycling.
+                    yield consumer
+                    self.host.release_memory(prev_bytes)
+                    resident -= prev_bytes
+                    self._set_chunk_stream(resident)
+                consumer = self.sim.process(on_chunk(this_bytes),
+                                            name=f"db-chunk:{name}:{i}")
+            elif i > 0:
+                self.host.release_memory(prev_bytes)
+                resident -= prev_bytes
+                self._set_chunk_stream(resident)
+            prev_bytes = this_bytes
+        if consumer is not None:
+            yield consumer
+        self.host.release_memory(prev_bytes)
+        resident -= prev_bytes
+        self._set_chunk_stream(resident)
+        self._emit_fetch(name, "chunked", size, n, peak, waited)
+        return StoredExecutable(
+            name=record["name"],
+            payload=b"".join(parts),
+            description=record["description"],
+            params_spec=record["params_spec"],
+            compressed_size=record["compressed_size"],
+            stored_at=record["stored_at"],
+        )
 
     def delete_executable(self, name: str) -> Process:
         """Remove *name*; the process-event's value is True if it existed."""
@@ -208,26 +469,33 @@ class DbManager:
         recovery cost is one disk read of the log plus replay CPU.
         """
         image = self.db.wal.snapshot()
-        recovered = Database.recover(image)
-        return DbManager(self.host, db=recovered, costs=self.costs)
+        recovered = Database.recover(image, mvcc=self.db.mvcc)
+        return DbManager(self.host, db=recovered, costs=self.costs,
+                         tier=self.tier)
 
     # -- synchronous metadata queries (no payload, negligible cost) ----------
 
+    def _meta_reader(self) -> Database:
+        """Where metadata reads go: a caught-up replica when routed."""
+        if self.read_router is not None:
+            return self.read_router.reader(self.TABLE)
+        return self.db
+
     def list_executables(self) -> List[Dict[str, Any]]:
         """Metadata of all stored executables (no payload bytes)."""
-        rows = self.db.select(self.TABLE)
+        rows = self._meta_reader().select(self.TABLE)
         return [{k: v for k, v in row.items() if k != "data"} for row in rows]
 
     def has_executable(self, name: str) -> bool:
         try:
-            self.db.get_by_pk(self.TABLE, name)
+            self._meta_reader().get_by_pk(self.TABLE, name)
             return True
         except RecordNotFound:
             return False
 
     def executable_sizes(self, name: str) -> Dict[str, int]:
         """(uncompressed, compressed) sizes without loading the payload."""
-        record = self.db.get_by_pk(self.TABLE, name)
+        record = self._meta_reader().get_by_pk(self.TABLE, name)
         return {"size": record["size"],
                 "compressed_size": record["compressed_size"]}
 

@@ -17,26 +17,54 @@ from repro.db.index import HashIndex, SortedIndex
 from repro.db.table import Column, HeapTable, Schema
 from repro.db.wal import WriteAheadLog
 
-__all__ = ["Database"]
+__all__ = ["Database", "Snapshot"]
 
 Predicate = Callable[[Dict[str, Any]], bool]
 
 
 class Database:
-    """An embedded single-writer relational database."""
+    """An embedded single-writer relational database.
 
-    def __init__(self, wal: Optional[WriteAheadLog] = None):
+    With ``mvcc=True`` the engine keeps per-row version chains so that
+    :meth:`snapshot` read handles observe the last *committed* state even
+    while a writer transaction is open (snapshot isolation for readers).
+    Version bookkeeping is pure python — it creates no simulation events.
+    """
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 mvcc: bool = False):
         self.wal = wal if wal is not None else WriteAheadLog()
         self.tables: Dict[str, HeapTable] = {}
         self._indexes: Dict[Tuple[str, str], Any] = {}
         self._txn_counter = itertools.count(1)
         self._active_txn: Optional[int] = None
         self._undo: List[Tuple] = []
+        #: Snapshot-isolation reads enabled?
+        self.mvcc = bool(mvcc)
+        # Commit-sequence watermark: bumps on every commit (incl. autocommit).
+        self._commit_seq = 0
+        # (table, rowid) pairs whose pre-image was saved by the active txn.
+        self._txn_touched: Set[Tuple[str, int]] = set()
+        # Open snapshot read handles (for version pruning).
+        self._snapshots: List["Snapshot"] = []
+        #: Query-planner counters (pure bookkeeping, used by tests/telemetry).
+        self.stats: Dict[str, int] = {
+            "rows_scanned": 0, "index_rows": 0, "snapshot_reads": 0,
+        }
 
     # ------------------------------------------------------------------ DDL
 
+    def _ddl_guard(self, what: str) -> None:
+        # DDL is autocommitted and has no undo entries, so allowing it
+        # inside an explicit transaction would make rollback() lie.
+        if self._active_txn is not None:
+            raise TransactionError(
+                f"{what} inside an active transaction is not supported; "
+                f"commit or roll back first")
+
     def create_table(self, name: str, columns: Sequence[Column]) -> None:
         """Create a table (autocommitted DDL)."""
+        self._ddl_guard("create_table")
         if name in self.tables:
             raise DatabaseError(f"table {name!r} already exists")
         schema = Schema(columns)
@@ -49,6 +77,7 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table and its indexes (autocommitted DDL)."""
+        self._ddl_guard("drop_table")
         self._table(name)  # existence check
         self.wal.append(("drop_table", name))
         del self.tables[name]
@@ -57,6 +86,7 @@ class Database:
 
     def create_index(self, table: str, column: str, kind: str = "hash") -> None:
         """Create (and backfill) a secondary index on table.column."""
+        self._ddl_guard("create_index")
         tbl = self._table(table)
         tbl.schema.index_of(column)  # validates the column exists
         if (table, column) in self._indexes:
@@ -92,6 +122,11 @@ class Database:
         self.wal.append(("commit", self._active_txn))
         self._active_txn = None
         self._undo = []
+        # The staged pre-images become permanent history at the old
+        # watermark; open snapshots keep reading them.
+        self._commit_seq += 1
+        self._txn_touched = set()
+        self._prune_versions()
 
     def rollback(self) -> None:
         """Abort the active transaction, undoing its changes in memory."""
@@ -113,6 +148,13 @@ class Database:
                 self.tables[table].update(rowid, old)
                 self._index_remove(table, rowid, new)
                 self._index_add(table, rowid, old)
+        # Discard the pre-images this txn staged: the heap already holds
+        # the restored (committed) values again.
+        for table, rowid in self._txn_touched:
+            tbl = self.tables.get(table)
+            if tbl is not None:
+                tbl.discard_version(rowid, self._commit_seq)
+        self._txn_touched = set()
         self._active_txn = None
         self._undo = []
 
@@ -142,6 +184,7 @@ class Database:
         with self._txn_scope():
             rowid = tbl.insert(row)
             stored = tbl.get(rowid)
+            self._save_preimage(table, rowid, None)
             self.wal.append(("insert", self._active_txn, table, rowid,
                              list(stored)))
             self._undo.append(("insert", table, rowid))
@@ -156,6 +199,7 @@ class Database:
         with self._txn_scope():
             for rowid in victims:
                 old = tbl.delete(rowid)
+                self._save_preimage(table, rowid, old)
                 self.wal.append(("delete", self._active_txn, table, rowid,
                                  list(old)))
                 self._undo.append(("delete", table, rowid, old))
@@ -176,6 +220,7 @@ class Database:
                 new = list(old)
                 for col, value in updates.items():
                     new[positions[col]] = value
+                self._save_preimage(table, rowid, old)
                 tbl.update(rowid, new)
                 stored = tbl.get(rowid)
                 self.wal.append(("update", self._active_txn, table, rowid,
@@ -193,6 +238,7 @@ class Database:
         tbl = self._table(table)
         out = []
         for _rowid, row in tbl.scan():
+            self.stats["rows_scanned"] += 1
             record = self._as_dict(tbl, row)
             if predicate is None or predicate(record):
                 if columns is not None:
@@ -206,10 +252,60 @@ class Database:
         index = self._indexes.get((table, column))
         if isinstance(index, HashIndex):
             rowids = sorted(index.find(value))
+            self.stats["index_rows"] += len(rowids)
             return [self._as_dict(tbl, tbl.get(r)) for r in rowids]
+        if isinstance(index, SortedIndex) and value is not None:
+            try:
+                rowids = sorted(index.range(value, value))
+            except TypeError:
+                rowids = None  # uncomparable literal; fall back to a scan
+            if rowids is not None:
+                self.stats["index_rows"] += len(rowids)
+                return [self._as_dict(tbl, tbl.get(r)) for r in rowids]
         col_pos = tbl.schema.index_of(column)
-        return [self._as_dict(tbl, row) for _r, row in tbl.scan()
-                if row[col_pos] == value]
+        out = []
+        for _r, row in tbl.scan():
+            self.stats["rows_scanned"] += 1
+            if row[col_pos] == value:
+                out.append(self._as_dict(tbl, row))
+        return out
+
+    def find_range(self, table: str, column: str,
+                   lo: Any = None, hi: Any = None,
+                   lo_open: bool = False,
+                   hi_open: bool = False) -> List[Dict[str, Any]]:
+        """Range lookup, via a sorted index when one exists.
+
+        Bounds follow SQL semantics: ``None`` column values never match,
+        ``lo_open``/``hi_open`` exclude the endpoint.  Results come back
+        in rowid order (matching a heap scan).
+        """
+        tbl = self._table(table)
+        index = self._indexes.get((table, column))
+        if isinstance(index, SortedIndex):
+            try:
+                rowids = sorted(index.range(lo, hi, lo_open, hi_open))
+            except TypeError:
+                rowids = None  # uncomparable bound; fall back to a scan
+            if rowids is not None:
+                self.stats["index_rows"] += len(rowids)
+                return [self._as_dict(tbl, tbl.get(r)) for r in rowids]
+        col_pos = tbl.schema.index_of(column)
+        out = []
+        for _r, row in tbl.scan():
+            self.stats["rows_scanned"] += 1
+            v = row[col_pos]
+            if v is None:
+                continue
+            try:
+                if lo is not None and (v < lo or (lo_open and v == lo)):
+                    continue
+                if hi is not None and (v > hi or (hi_open and v == hi)):
+                    continue
+            except TypeError:
+                continue  # SQL three-valued logic, collapsed to no-match
+            out.append(self._as_dict(tbl, row))
+        return out
 
     def get_by_pk(self, table: str, key: Any) -> Dict[str, Any]:
         """Primary-key point lookup."""
@@ -223,6 +319,16 @@ class Database:
 
     def count(self, table: str) -> int:
         return len(self._table(table))
+
+    def snapshot(self) -> "Snapshot":
+        """Open a read handle pinned to the last committed state.
+
+        With MVCC enabled the handle ignores every mutation staged by an
+        open writer transaction (and any commit after the handle was
+        opened).  Without MVCC it simply reads current state.  Close it
+        (or use ``with``) so version chains can be pruned.
+        """
+        return Snapshot(self)
 
     # ----------------------------------------------------------- persistence
 
@@ -248,7 +354,7 @@ class Database:
         self.wal.append(("commit", txn))
 
     @classmethod
-    def recover(cls, wal_image: bytes) -> "Database":
+    def recover(cls, wal_image: bytes, mvcc: bool = False) -> "Database":
         """Rebuild a database from a WAL image (crash recovery).
 
         DDL is replayed unconditionally; DML only for transactions whose
@@ -258,7 +364,7 @@ class Database:
         records = list(log.records())
         committed: Set[int] = {r[1] for r in records if r[0] == "commit"}
 
-        db = cls(wal=WriteAheadLog())
+        db = cls(wal=WriteAheadLog(), mvcc=mvcc)
         max_txn = 0
         for record in records:
             op = record[0]
@@ -303,6 +409,27 @@ class Database:
 
     # ----------------------------------------------------------------- internals
 
+    def _save_preimage(self, table: str, rowid: int,
+                       old_row: Optional[Tuple[Any, ...]]) -> None:
+        """Stage the committed image of a row on its first touch in a txn."""
+        if not self.mvcc or self._active_txn is None:
+            return
+        key = (table, rowid)
+        if key in self._txn_touched:
+            return
+        self._txn_touched.add(key)
+        self.tables[table].save_version(rowid, self._commit_seq, old_row)
+
+    def _prune_versions(self) -> None:
+        """Drop version history no open snapshot can still need."""
+        if not self.mvcc:
+            return
+        watermark = min((s.watermark for s in self._snapshots),
+                        default=self._commit_seq)
+        for tbl in self.tables.values():
+            if tbl.has_versions():
+                tbl.prune_versions(watermark)
+
     def _table(self, name: str) -> HeapTable:
         try:
             return self.tables[name]
@@ -329,6 +456,121 @@ class Database:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"<Database tables={sorted(self.tables)}>"
+
+
+class Snapshot:
+    """A read-only view of the last committed database state.
+
+    Opened via :meth:`Database.snapshot`.  The handle resolves each row
+    through the table's version chain at its pinned watermark, so writes
+    staged by an open transaction — and commits that land after the
+    handle was opened — are invisible.  Reads fall back to the plain
+    (indexed) paths whenever a table has no version history, so the
+    uncontended case stays O(index lookup).
+    """
+
+    def __init__(self, db: Database):
+        self._db = db
+        #: Commit-sequence this handle is pinned to.
+        self.watermark = db._commit_seq
+        self.closed = False
+        db._snapshots.append(self)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._db._snapshots.remove(self)
+            self._db._prune_versions()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    # -- reads -------------------------------------------------------------
+
+    def _iter_rows(self, tbl: HeapTable):
+        """(rowid, row) pairs visible at the watermark, in rowid order."""
+        if not self._db.mvcc or not tbl.has_versions():
+            yield from tbl.scan()
+            return
+        for rowid in sorted(tbl.versioned_ids()):
+            row = tbl.visible_row(rowid, self.watermark)
+            if row is not None:
+                yield rowid, row
+
+    def select(self, table: str, predicate: Optional[Predicate] = None,
+               columns: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Snapshot-visible rows matching *predicate*."""
+        db = self._db
+        db.stats["snapshot_reads"] += 1
+        tbl = db._table(table)
+        out = []
+        for _rowid, row in self._iter_rows(tbl):
+            db.stats["rows_scanned"] += 1
+            record = db._as_dict(tbl, row)
+            if predicate is None or predicate(record):
+                if columns is not None:
+                    record = {c: record[c] for c in columns}
+                out.append(record)
+        return out
+
+    def find_eq(self, table: str, column: str,
+                value: Any) -> List[Dict[str, Any]]:
+        """Equality lookup against the snapshot.
+
+        Falls back to a resolved scan when version history exists for
+        the table: secondary indexes reflect uncommitted writes, so they
+        cannot serve a snapshot directly.
+        """
+        db = self._db
+        tbl = db._table(table)
+        if not db.mvcc or not tbl.has_versions():
+            db.stats["snapshot_reads"] += 1
+            return db.find_eq(table, column, value)
+        db.stats["snapshot_reads"] += 1
+        col_pos = tbl.schema.index_of(column)
+        out = []
+        for _rowid, row in self._iter_rows(tbl):
+            db.stats["rows_scanned"] += 1
+            if row[col_pos] == value:
+                out.append(db._as_dict(tbl, row))
+        return out
+
+    def get_by_pk(self, table: str, key: Any) -> Dict[str, Any]:
+        """Primary-key point lookup against the snapshot."""
+        db = self._db
+        tbl = db._table(table)
+        if not db.mvcc or not tbl.has_versions():
+            db.stats["snapshot_reads"] += 1
+            return db.get_by_pk(table, key)
+        db.stats["snapshot_reads"] += 1
+        pk = tbl.schema.primary_key
+        if pk is None:
+            raise DatabaseError(f"table {table!r} has no primary key")
+        pk_pos = tbl.schema.index_of(pk.name)
+        for _rowid, row in self._iter_rows(tbl):
+            db.stats["rows_scanned"] += 1
+            if row[pk_pos] == key:
+                return db._as_dict(tbl, row)
+        raise RecordNotFound(f"{table}: no row with pk {key!r}")
+
+    def count(self, table: str) -> int:
+        """Snapshot-visible row count."""
+        db = self._db
+        db.stats["snapshot_reads"] += 1
+        tbl = db._table(table)
+        if not db.mvcc or not tbl.has_versions():
+            return len(tbl)
+        return sum(1 for _ in self._iter_rows(tbl))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "closed" if self.closed else "open"
+        return f"<Snapshot @{self.watermark} {state}>"
 
 
 @contextmanager

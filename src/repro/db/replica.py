@@ -1,0 +1,246 @@
+"""WAL-shipping read replicas and the bounded-staleness read router.
+
+A :class:`ReadReplica` tails the primary's write-ahead log through the
+record tap (:attr:`~repro.db.wal.WriteAheadLog.taps`) and applies the
+logical record stream to its own :class:`~repro.db.engine.Database`
+after a modeled propagation/apply *lag*.  Application is **lazy**: the
+replica buffers shipped records with their ship timestamps and replays
+everything that has become due when a reader calls :meth:`catch_up`.
+That keeps replication pure bookkeeping — it schedules no simulation
+events, so an attached-but-disabled (or even enabled-but-unread)
+replica can never perturb a faithful timeline.
+
+The :class:`ReadRouter` decides, per read, whether a replica may serve
+a table.  The guard is conservative: a replica is eligible only when
+the table's newest primary write is at least one lag interval old —
+i.e. when every write to that table has provably been applied.  Two
+properties fall out by construction:
+
+* **bounded staleness** — nothing a replica serves is ever older than
+  the modeled lag (a younger write forces the read back to the
+  primary);
+* **read-your-writes** — an uploader that just wrote a table reads it
+  from the primary until the replica has caught up, for *any*
+  principal (strictly stronger than per-principal tracking).
+
+Transactions replicate atomically: shipped DML is staged per txn and
+applied only when the matching ``commit`` record becomes due, exactly
+mirroring :meth:`Database.recover` semantics.  Aborted transactions
+are dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.db.engine import Database
+from repro.errors import DatabaseError
+
+__all__ = ["ReadReplica", "ReadRouter"]
+
+
+class ReadReplica:
+    """A lagged, WAL-fed, read-only copy of a primary database."""
+
+    def __init__(self, sim, primary: Database, lag: float = 0.5,
+                 name: str = "db-replica-1", enabled: bool = True):
+        if lag < 0:
+            raise DatabaseError(f"replica lag must be >= 0, got {lag}")
+        self.sim = sim
+        self.primary = primary
+        self.lag = float(lag)
+        self.name = name
+        #: Disabled replicas tap nothing and stay provably empty.
+        self.enabled = enabled
+        #: The replica's own database (never written by callers).
+        self.db = Database()
+        # Shipped-but-not-yet-applied records: (ship_ts, record).
+        self._pending: Deque[Tuple[float, Tuple[Any, ...]]] = deque()
+        # DML staged per in-flight transaction id.
+        self._staged: Dict[int, List[Tuple[Any, ...]]] = {}
+        self.records_applied = 0
+        self.txns_applied = 0
+        #: Ship timestamp of the newest applied record.
+        self.applied_ts = 0.0
+        if enabled:
+            self._bootstrap()
+        primary.wal.taps.append(self._tap)
+
+    # -- shipping ----------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Initial sync: replay the primary's current WAL image."""
+        if self.primary._active_txn is not None:
+            raise DatabaseError(
+                f"{self.name}: cannot attach mid-transaction")
+        image = self.primary.wal.snapshot()
+        if image:
+            self.db = Database.recover(image)
+
+    def _tap(self, record: Tuple[Any, ...]) -> None:
+        if self.enabled:
+            self._pending.append((self.sim.now, record))
+
+    def backlog(self) -> int:
+        """Shipped records not yet applied."""
+        return len(self._pending)
+
+    def catch_up(self, now: Optional[float] = None) -> int:
+        """Apply every shipped record whose lag has elapsed by *now*."""
+        now = self.sim.now if now is None else now
+        applied = 0
+        while self._pending and self._pending[0][0] + self.lag <= now:
+            ts, record = self._pending.popleft()
+            self._apply(record)
+            self.applied_ts = ts
+            self.records_applied += 1
+            applied += 1
+        return applied
+
+    def lag_behind(self, now: Optional[float] = None) -> float:
+        """Seconds of ship-time not yet applied (< lag by construction)."""
+        now = self.sim.now if now is None else now
+        self.catch_up(now)
+        if not self._pending:
+            return 0.0
+        return max(0.0, now - self._pending[0][0])
+
+    # -- log application ---------------------------------------------------
+
+    def _apply(self, record: Tuple[Any, ...]) -> None:
+        op = record[0]
+        if op == "create_table":
+            from repro.db.table import Column
+            _, name, cols = record
+            if name not in self.db.tables:
+                self.db.create_table(name, [
+                    Column(n, t, nullable=bool(nl), primary_key=bool(pk))
+                    for n, t, nl, pk in cols])
+        elif op == "drop_table":
+            if record[1] in self.db.tables:
+                self.db.drop_table(record[1])
+        elif op == "create_index":
+            _, table, column, kind = record
+            if (table, column) not in self.db._indexes \
+                    and table in self.db.tables:
+                self.db.create_index(table, column, kind)
+        elif op == "begin":
+            self._staged[record[1]] = []
+        elif op in ("insert", "delete", "update"):
+            staged = self._staged.get(record[1])
+            if staged is not None:
+                staged.append(record)
+        elif op == "commit":
+            for dml in self._staged.pop(record[1], ()):
+                self._apply_dml(dml)
+            self.txns_applied += 1
+        elif op == "abort":
+            self._staged.pop(record[1], None)
+
+    def _apply_dml(self, record: Tuple[Any, ...]) -> None:
+        op, _txn, table = record[0], record[1], record[2]
+        if table not in self.db.tables:
+            return
+        tbl = self.db.tables[table]
+        if op == "insert":
+            _, _, _, rowid, values = record
+            if rowid in tbl._rows:  # re-shipped frame; replace
+                old = tbl.delete(rowid)
+                self.db._index_remove(table, rowid, old)
+            tbl.restore(rowid, tbl.schema.validate_row(values))
+            self.db._index_add(table, rowid, tuple(values))
+        elif op == "delete":
+            _, _, _, rowid, _old = record
+            if rowid in tbl._rows:
+                old = tbl.delete(rowid)
+                self.db._index_remove(table, rowid, old)
+        elif op == "update":
+            _, _, _, rowid, old, new = record
+            if rowid in tbl._rows:
+                tbl.update(rowid, new)
+                self.db._index_remove(table, rowid, tuple(old))
+                self.db._index_add(table, rowid, tuple(new))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "on" if self.enabled else "off"
+        return (f"<ReadReplica {self.name} {state} lag={self.lag} "
+                f"backlog={self.backlog()}>")
+
+
+class ReadRouter:
+    """Routes read-only table access to caught-up replicas.
+
+    ``reader(table)`` hands back a database to read *table* from: a
+    replica when the freshness guard holds, the primary otherwise.
+    The router learns write recency from its own WAL tap, so it needs
+    no cooperation from writers.
+    """
+
+    def __init__(self, sim, primary: Database,
+                 replicas: Tuple[ReadReplica, ...] = (),
+                 lag: float = 0.5):
+        self.sim = sim
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.lag = float(lag)
+        # table -> sim time of its newest primary write (DML or DDL).
+        self._last_write: Dict[str, float] = {}
+        # txn id -> tables it touched (commit re-stamps them, because a
+        # replica only applies a txn once the *commit* record is due).
+        self._txn_tables: Dict[int, set] = {}
+        self._rr = 0
+        self.replica_reads = 0
+        self.primary_reads = 0
+        primary.wal.taps.append(self._observe)
+
+    def _observe(self, record: Tuple[Any, ...]) -> None:
+        op = record[0]
+        now = self.sim.now
+        if op in ("insert", "delete", "update"):
+            self._last_write[record[2]] = now
+            self._txn_tables.setdefault(record[1], set()).add(record[2])
+        elif op in ("create_table", "drop_table", "create_index"):
+            self._last_write[record[1]] = now
+        elif op == "commit":
+            for table in self._txn_tables.pop(record[1], ()):
+                self._last_write[table] = now
+        elif op == "abort":
+            self._txn_tables.pop(record[1], None)
+
+    def fresh_for(self, table: str, now: Optional[float] = None) -> bool:
+        """Has every primary write to *table* had time to replicate?"""
+        now = self.sim.now if now is None else now
+        last = self._last_write.get(table)
+        return last is None or last + self.lag <= now
+
+    def reader(self, table: str) -> Database:
+        """A database suitable for a read-only op on *table* right now."""
+        now = self.sim.now
+        live = [r for r in self.replicas if r.enabled]
+        if live and self.fresh_for(table, now):
+            replica = live[self._rr % len(live)]
+            self._rr += 1
+            replica.catch_up(now)
+            if table in replica.db.tables:
+                self.replica_reads += 1
+                self._note_replica_read(table, replica, now)
+                return replica.db
+        self.primary_reads += 1
+        return self.primary
+
+    def _note_replica_read(self, table: str, replica: ReadReplica,
+                           now: float) -> None:
+        # Lazy import: the db layer must not hard-depend on telemetry.
+        from repro.telemetry.events import bus
+        from repro.telemetry.gauges import gauges
+        behind = replica.lag_behind(now)
+        bus(self.sim).emit("db.replica.read", layer="db", table=table,
+                           target=replica.name, behind=behind,
+                           lag_bound=self.lag)
+        gauges(self.sim).gauge("db.replica_lag", unit="s").set(behind)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (f"<ReadRouter replicas={len(self.replicas)} "
+                f"replica_reads={self.replica_reads} "
+                f"primary_reads={self.primary_reads}>")

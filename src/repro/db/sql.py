@@ -26,7 +26,7 @@ import re
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.db.engine import Database
-from repro.db.index import HashIndex
+from repro.db.index import HashIndex, SortedIndex
 from repro.db.table import Column, TYPES
 from repro.errors import SqlError
 
@@ -418,10 +418,14 @@ class Parser:
                 except TypeError:
                     return False
             expr = Expr(compare, f"{column} {op} {value!r}")
-            # Expose simple equality for index routing.
+            # Expose simple comparisons for index routing.
             if op == "=":
                 expr.eq_column = column  # type: ignore[attr-defined]
                 expr.eq_value = value    # type: ignore[attr-defined]
+            elif op in ("<", "<=", ">", ">=") and value is not None:
+                expr.range_column = column  # type: ignore[attr-defined]
+                expr.range_op = op          # type: ignore[attr-defined]
+                expr.range_value = value    # type: ignore[attr-defined]
             return expr
         raise SqlError(f"bad predicate near {tok.value!r} at offset {tok.pos}")
 
@@ -585,9 +589,25 @@ def _hashable_value(value: Any) -> Any:
 
 def _candidates(db: Database, table: str,
                 where: Optional[Expr]) -> List[Dict[str, Any]]:
-    """Rows matching *where*, using a hash index for simple equality."""
+    """Rows matching *where*, routed through an index when one fits.
+
+    Top-level ``col = literal`` uses a hash (or sorted) index; a
+    top-level ``col < / <= / > / >= literal`` range uses a sorted index.
+    Everything else falls back to a predicate heap scan.
+    """
     eq_col = getattr(where, "eq_column", None)
     if (eq_col is not None
-            and isinstance(db._indexes.get((table, eq_col)), HashIndex)):
+            and isinstance(db._indexes.get((table, eq_col)),
+                           (HashIndex, SortedIndex))):
         return db.find_eq(table, eq_col, where.eq_value)  # type: ignore[union-attr]
+    range_col = getattr(where, "range_column", None)
+    if (range_col is not None
+            and isinstance(db._indexes.get((table, range_col)), SortedIndex)):
+        op = where.range_op          # type: ignore[union-attr]
+        value = where.range_value    # type: ignore[union-attr]
+        if op in ("<", "<="):
+            return db.find_range(table, range_col, hi=value,
+                                 hi_open=(op == "<"))
+        return db.find_range(table, range_col, lo=value,
+                             lo_open=(op == ">"))
     return db.select(table, where.fn if where else None)

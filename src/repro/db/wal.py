@@ -107,6 +107,12 @@ class WriteAheadLog:
         #: .DbManager` hangs the log-pressure gauge and ``wal.append``
         #: events off this hook.
         self.observer = None
+        #: Record-level taps, each called as ``tap(record)`` after the
+        #: frame is durable.  This is the replication hook: a
+        #: :class:`~repro.db.replica.ReadReplica` registers a tap to
+        #: ship the logical record stream.  Taps are pure (no sim
+        #: events) and see records in exact append order.
+        self.taps = []
 
     # -- writing --------------------------------------------------------------
 
@@ -119,6 +125,8 @@ class WriteAheadLog:
         self._buf.extend(frame)
         if self.observer is not None:
             self.observer(len(frame), len(self._buf))
+        for tap in self.taps:
+            tap(record)
         return len(frame)
 
     def snapshot(self) -> bytes:

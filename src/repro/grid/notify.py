@@ -81,11 +81,15 @@ class NotifyQueue:
     """
 
     def __init__(self, sim: Simulator, db: Database,
-                 propagation: float = 0.5):
+                 propagation: float = 0.5, read_router: Optional[Any] = None):
         if propagation <= 0:
             raise ValueError("notify propagation delay must be positive")
         self.sim = sim
         self.db = db
+        #: Optional :class:`~repro.db.replica.ReadRouter`: replay reads
+        #: (``job_state``) may be served by a caught-up replica; all
+        #: durable writes stay on the primary.
+        self.read_router = read_router
         self.propagation = propagation
         #: Sites whose gatekeeper publishes here (capability registry).
         self._capable: set = set()
@@ -135,8 +139,11 @@ class NotifyQueue:
 
     def job_state(self, job_id: str) -> Optional[Dict[str, Any]]:
         """The durable ``job_states`` row for *job_id* (or ``None``)."""
-        rows = self.db.select(JOB_STATES_TABLE,
-                              lambda r: r["job_id"] == job_id)
+        db = self.db
+        if self.read_router is not None:
+            db = self.read_router.reader(JOB_STATES_TABLE)
+        rows = db.select(JOB_STATES_TABLE,
+                         lambda r: r["job_id"] == job_id)
         return rows[0] if rows else None
 
     @property

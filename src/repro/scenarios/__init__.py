@@ -33,6 +33,9 @@ paper-shaped output; ``tests/scenarios`` asserts the expected shapes
 * :mod:`~repro.scenarios.notify` — event-driven job lifecycle: mixed
   notify/poll testbed, push detection lag vs the poll floor, durable
   queue drained
+* :mod:`~repro.scenarios.dbscale` — DB tier scale-out ablation: upload
+  storm vs invocation p95 with MVCC snapshot reads, WAL-shipping read
+  replicas and chunked BLOB streaming on/off
 """
 
 from repro.scenarios.bottleneck import BottleneckResult, run_bottleneck
@@ -40,6 +43,7 @@ from repro.scenarios.chaos import ChaosResult, run_chaos
 from repro.scenarios.common import ScenarioEnv, standard_env
 from repro.scenarios.controltower import ControlTowerResult, run_controltower
 from repro.scenarios.datapath import DatapathResult, run_datapath
+from repro.scenarios.dbscale import DbScaleResult, run_dbscale
 from repro.scenarios.faults import FaultsResult, run_faults
 from repro.scenarios.fig6 import Fig6Result, run_fig6
 from repro.scenarios.fig7 import Fig7Result, run_fig7
@@ -67,4 +71,5 @@ __all__ = [
     "ControlTowerResult", "run_controltower",
     "ChaosResult", "run_chaos",
     "NotifyResult", "run_notify",
+    "DbScaleResult", "run_dbscale",
 ]

@@ -6,10 +6,10 @@ rendered report — the same output the benchmarks save under
 
 Experiments: fig6, fig7, fig8, scalability, overhead, smallfiles,
 bottleneck, faults, throughput, datapath, scaleout, controltower,
-chaos, notify, all.  ``--smoke`` shrinks the workloads that support it
-(currently ``bottleneck``, ``faults``, ``throughput``, ``datapath``,
-``scaleout``, ``controltower``, ``chaos`` and ``notify``) for fast CI
-validation.
+chaos, notify, dbscale, all.  ``--smoke`` shrinks the workloads that
+support it (currently ``bottleneck``, ``faults``, ``throughput``,
+``datapath``, ``scaleout``, ``controltower``, ``chaos``, ``notify``
+and ``dbscale``) for fast CI validation.
 """
 
 from __future__ import annotations
@@ -19,9 +19,10 @@ import sys
 from typing import Callable, Dict
 
 from repro.scenarios import (
-    run_bottleneck, run_chaos, run_controltower, run_datapath, run_faults,
-    run_fig6, run_fig7, run_fig8, run_notify, run_overhead,
-    run_scalability, run_scaleout, run_smallfiles, run_throughput,
+    run_bottleneck, run_chaos, run_controltower, run_datapath,
+    run_dbscale, run_faults, run_fig6, run_fig7, run_fig8, run_notify,
+    run_overhead, run_scalability, run_scaleout, run_smallfiles,
+    run_throughput,
 )
 from repro.units import MB
 
@@ -107,6 +108,17 @@ def _chaos() -> str:
     return result.render()
 
 
+def _dbscale() -> str:
+    result = run_dbscale(smoke=_SMOKE)
+    if not result.ok:
+        # The DB-scale claims (storm-proof invocation p95, bounded
+        # per-fetch residency, staleness-guarded replica reads) are
+        # CI's gate for the scaled tier: a miss fails the job.
+        print(result.render())
+        raise SystemExit(1)
+    return result.render()
+
+
 def _notify() -> str:
     result = run_notify(smoke=_SMOKE)
     if not result.ok:
@@ -133,6 +145,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "controltower": _controltower,
     "chaos": _chaos,
     "notify": _notify,
+    "dbscale": _dbscale,
 }
 
 

@@ -90,6 +90,8 @@ def _classify(name: str) -> str:
         return "grid/transfer"     # gatekeeper control exchanges
     if prefix == "notify":
         return "grid/transfer"     # push-path callback traffic
+    if prefix == "db":
+        return "db/storage"        # DB-tier fetches, lock waits, replicas
     if prefix in ("service", "onserve", "uddi", "management", "portal"):
         return "core/compute"      # middleware work on the appliance
     return "other/compute"

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db import DbManager
-from repro.db.dbmanager import DbCostModel
+from repro.db.dbmanager import DbCostModel, DbTierConfig
 from repro.errors import RecordNotFound
 from repro.hardware import Host, Network
 from repro.hardware.host import HostSpec
@@ -11,12 +11,12 @@ from repro.simkernel import Simulator
 from repro.units import KB, MB
 
 
-def make_env(disk_bw=MB(50)):
+def make_env(disk_bw=MB(50), tier=None):
     sim = Simulator()
     net = Network(sim)
     host = Host(sim, "appliance", net,
                 HostSpec(cores=2, disk_bandwidth=disk_bw, disk_latency=0.0))
-    return sim, host, DbManager(host)
+    return sim, host, DbManager(host, tier=tier)
 
 
 def test_store_load_roundtrip():
@@ -124,3 +124,125 @@ def test_metadata_queries():
     assert sizes["compressed_size"] > 0
     assert mgr.has_executable("a")
     assert not mgr.has_executable("b")
+
+
+def test_executable_sizes_missing_name_raises():
+    sim, host, mgr = make_env()
+    with pytest.raises(RecordNotFound):
+        mgr.executable_sizes("ghost")
+
+
+# ------------------------------------------------------------ tier: chunking
+
+def test_chunked_fetch_bounds_residency_and_preserves_bytes():
+    chunk = int(MB(1))
+    sim, host, mgr = make_env(tier=DbTierConfig(chunk_bytes=chunk))
+    payload = bytes(range(256)) * (int(MB(5)) // 256 + 13)  # ~5 MB, odd tail
+    peaks = []
+
+    def flow():
+        yield mgr.store_executable("big", payload)
+        mem_before = host.memory_used
+        exe = yield mgr.load_executable("big")
+        return exe, mem_before
+
+    proc = sim.process(flow())
+    exe, mem_before = sim.run(until=proc)
+    # The data plane is intact: the reassembled bytes equal the stored.
+    assert exe.payload == payload
+    # Simulated residency peaked at <= 2 chunks, not the whole BLOB.
+    assert host.memory_peak - mem_before <= 2 * chunk
+    # Nothing leaked after the fetch.
+    assert host.memory_used == mem_before
+
+
+def test_chunked_fetch_pipelines_consumer():
+    chunk = int(MB(1))
+    sim, host, mgr = make_env(tier=DbTierConfig(chunk_bytes=chunk))
+    payload = b"q" * int(MB(3))
+    consumed = []
+
+    def flow():
+        yield mgr.store_executable("p", payload)
+
+        def on_chunk(nbytes):
+            consumed.append(nbytes)
+            yield host.disk_write(nbytes)
+
+        exe = yield mgr.load_executable("p", on_chunk=on_chunk)
+        return exe
+
+    exe = sim.run(until=sim.process(flow()))
+    assert exe.payload == payload
+    assert sum(consumed) == len(payload)
+    assert len(consumed) == 3
+
+
+# ------------------------------------------------------------ tier: serialize
+
+def test_serialized_reads_queue_behind_store():
+    sim, host, mgr = make_env(tier=DbTierConfig(serialize=True))
+    payload = b"z" * int(MB(4))
+    order = []
+
+    def seed_flow():
+        yield mgr.store_executable("x", payload)
+
+    sim.run(until=sim.process(seed_flow()))
+
+    def writer():
+        yield mgr.store_executable("x", payload)
+        order.append("store-done")
+
+    def reader():
+        yield sim.timeout(0.001)  # arrive while the store holds the conn
+        exe = yield mgr.load_executable("x")
+        order.append("read-done")
+        return exe
+
+    w = sim.process(writer())
+    r = sim.process(reader())
+    sim.run(until=sim.all_of([w, r]))
+    assert order == ["store-done", "read-done"]
+
+
+def test_mvcc_reads_skip_the_lock():
+    sim, host, mgr = make_env(tier=DbTierConfig(serialize=True, mvcc=True))
+    payload = b"z" * int(MB(4))
+    order = []
+
+    def seed_flow():
+        yield mgr.store_executable("x", payload)
+
+    sim.run(until=sim.process(seed_flow()))
+
+    def writer():
+        yield mgr.store_executable("x", payload)
+        order.append("store-done")
+
+    def reader():
+        yield sim.timeout(0.001)
+        exe = yield mgr.load_executable("x")
+        order.append("read-done")
+        return exe
+
+    w = sim.process(writer())
+    r = sim.process(reader())
+    sim.run(until=sim.all_of([w, r]))
+    # The snapshot read finished under the in-flight store.
+    assert order == ["read-done", "store-done"]
+    assert mgr.db.stats["snapshot_reads"] > 0
+
+
+def test_recover_from_crash_keeps_tier():
+    tier = DbTierConfig(mvcc=True, chunk_bytes=int(MB(1)))
+    sim, host, mgr = make_env(tier=tier)
+
+    def flow():
+        yield mgr.store_executable("x", b"payload bytes")
+
+    sim.run(until=sim.process(flow()))
+    recovered = mgr.recover_from_crash()
+    assert recovered.tier is tier
+    assert recovered.db.mvcc
+    assert recovered.has_executable("x")

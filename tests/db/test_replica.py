@@ -1,0 +1,200 @@
+"""Unit tests for WAL-shipping read replicas and the read router."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.replica import ReadReplica, ReadRouter
+from repro.db.table import Column
+from repro.errors import DatabaseError
+from repro.simkernel import Simulator
+
+LAG = 0.5
+
+
+def users_schema():
+    return [
+        Column("id", "INT", primary_key=True),
+        Column("name", "TEXT", nullable=False),
+    ]
+
+
+def test_negative_lag_rejected():
+    sim = Simulator()
+    with pytest.raises(DatabaseError, match="lag"):
+        ReadReplica(sim, Database(), lag=-0.1)
+
+
+def test_bootstrap_refuses_mid_transaction():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    db.begin()
+    with pytest.raises(DatabaseError, match="mid-transaction"):
+        ReadReplica(sim, db, lag=LAG)
+    db.rollback()
+
+
+def test_bootstrap_syncs_existing_image():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    db.insert("users", [1, "ada"])
+    replica = ReadReplica(sim, db, lag=LAG)
+    # Rows written before attach are visible immediately (initial sync).
+    assert replica.db.count("users") == 1
+    assert replica.backlog() == 0
+
+
+def test_records_apply_only_after_lag():
+    sim = Simulator()
+    db = Database()
+    replica = ReadReplica(sim, db, lag=LAG)
+    db.create_table("users", users_schema())
+    db.insert("users", [1, "ada"])  # ships at sim.now == 0.0
+    assert replica.backlog() > 0
+    assert "users" not in replica.db.tables
+    # Just short of the lag: nothing is due yet.
+    assert replica.catch_up(now=LAG - 0.01) == 0
+    assert "users" not in replica.db.tables
+    # At the lag boundary everything shipped at t=0 becomes due.
+    assert replica.catch_up(now=LAG) > 0
+    assert replica.db.count("users") == 1
+    assert replica.backlog() == 0
+
+
+def test_transactions_apply_atomically_at_commit():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    replica = ReadReplica(sim, db, lag=LAG)
+
+    def flow():
+        db.begin()
+        db.insert("users", [1, "ada"])
+        yield sim.timeout(1.0)
+        db.insert("users", [2, "bob"])
+        yield sim.timeout(1.0)
+        db.commit()  # ships at t=2.0
+
+    sim.run(until=sim.process(flow()))
+    # Both inserts are past their lag, the commit is not: nothing lands.
+    replica.catch_up(now=2.0)
+    assert replica.db.count("users") == 0
+    # Once the commit record is due, the whole txn appears at once.
+    replica.catch_up(now=2.0 + LAG)
+    assert replica.db.count("users") == 2
+    assert replica.txns_applied >= 1
+
+
+def test_aborted_transaction_never_applies():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    replica = ReadReplica(sim, db, lag=LAG)
+    db.begin()
+    db.insert("users", [1, "ada"])
+    db.rollback()
+    replica.catch_up(now=100.0)
+    assert replica.db.count("users") == 0
+    assert replica.backlog() == 0
+
+
+def test_disabled_replica_stays_provably_empty():
+    sim = Simulator()
+    db = Database()
+    replica = ReadReplica(sim, db, lag=LAG, enabled=False)
+    db.create_table("users", users_schema())
+    db.insert("users", [1, "ada"])
+    with db.transaction():
+        db.insert("users", [2, "bob"])
+    # The tap buffers nothing and the tables never materialize.
+    assert replica.backlog() == 0
+    assert replica.catch_up(now=100.0) == 0
+    assert replica.db.tables == {}
+    assert replica.records_applied == 0
+
+
+def test_router_read_your_writes_then_replica():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    replica = ReadReplica(sim, db, lag=LAG)
+    router = ReadRouter(sim, db, replicas=(replica,), lag=LAG)
+    got = []
+
+    def flow():
+        db.insert("users", [1, "ada"])
+        got.append(router.reader("users"))  # within the lag window
+        yield sim.timeout(LAG)
+        got.append(router.reader("users"))  # write is provably applied
+
+    sim.run(until=sim.process(flow()))
+    first, second = got
+    # Read-your-writes: the fresh write pins reads to the primary.
+    assert first is db
+    assert router.primary_reads == 1
+    # After one lag interval the replica serves, and serves fresh data.
+    assert second is replica.db
+    assert router.replica_reads == 1
+    assert second.get_by_pk("users", 1)["name"] == "ada"
+
+
+def test_router_commit_restamps_freshness():
+    """A txn's writes count from *commit* time — the replica only
+    applies them when the commit record is due, so eligibility keyed
+    off the DML timestamps would serve a stale view."""
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    replica = ReadReplica(sim, db, lag=LAG)
+    router = ReadRouter(sim, db, replicas=(replica,), lag=LAG)
+
+    def flow():
+        yield sim.timeout(LAG)  # let the DDL replicate first
+        db.begin()
+        db.insert("users", [1, "ada"])
+        yield sim.timeout(2.0)  # DML is now ancient...
+        db.commit()             # ...but the commit is brand new
+        early = router.reader("users")
+        yield sim.timeout(LAG)
+        late = router.reader("users")
+        return early, late
+
+    early, late = sim.run(until=sim.process(flow()))
+    assert early is db          # guard held: commit not yet replicated
+    assert late is replica.db
+    assert late.count("users") == 1
+
+
+def test_router_bounded_staleness():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    replica = ReadReplica(sim, db, lag=LAG)
+    router = ReadRouter(sim, db, replicas=(replica,), lag=LAG)
+
+    def flow():
+        for i in range(5):
+            db.insert("users", [i, f"u{i}"])
+            yield sim.timeout(0.3)
+            router.reader("users")
+        yield sim.timeout(LAG)
+        router.reader("users")
+
+    sim.run(until=sim.process(flow()))
+    assert router.replica_reads > 0
+    # Every replica-served read observed a view at most one lag behind.
+    from repro.telemetry.events import bus
+    for ev in bus(sim).events(kind="db.replica.read"):
+        assert ev.fields["behind"] <= LAG
+        assert ev.fields["lag_bound"] == LAG
+
+
+def test_router_without_replicas_serves_primary():
+    sim = Simulator()
+    db = Database()
+    db.create_table("users", users_schema())
+    router = ReadRouter(sim, db)
+    assert router.reader("users") is db
+    assert router.primary_reads == 1
+    assert router.replica_reads == 0

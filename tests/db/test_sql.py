@@ -156,6 +156,47 @@ def test_sorted_index_creation():
     assert ("users", "score") in db._indexes
 
 
+def test_planner_routes_equality_through_index_counters():
+    db = db_with_users()
+    execute_sql(db, "CREATE INDEX ON users (name) USING HASH")
+    db.stats["rows_scanned"] = 0
+    db.stats["index_rows"] = 0
+    rows = execute_sql(db, "SELECT * FROM users WHERE name = 'carol'")
+    assert [r["id"] for r in rows] == [3]
+    # The predicate was answered off the index: no heap scan at all.
+    assert db.stats["rows_scanned"] == 0
+    assert db.stats["index_rows"] == 1
+
+
+def test_planner_routes_range_through_sorted_index():
+    db = db_with_users()
+    execute_sql(db, "UPDATE users SET score = 2.0 WHERE id = 2")
+    execute_sql(db, "UPDATE users SET score = 5.0 WHERE id = 3")
+    execute_sql(db, "CREATE INDEX ON users (score) USING SORTED")
+    db.stats["rows_scanned"] = 0
+    db.stats["index_rows"] = 0
+    rows = execute_sql(db, "SELECT id FROM users WHERE score >= 5.0")
+    assert sorted(r["id"] for r in rows) == [1, 3]
+    assert db.stats["rows_scanned"] == 0
+    assert db.stats["index_rows"] == 2
+    rows = execute_sql(db, "SELECT id FROM users WHERE score < 3.0")
+    assert [r["id"] for r in rows] == [2]
+    rows = execute_sql(db, "SELECT id FROM users WHERE score > 9.5")
+    assert rows == []
+    assert db.stats["rows_scanned"] == 0
+
+
+def test_planner_scans_heap_without_index():
+    db = db_with_users()
+    db.stats["rows_scanned"] = 0
+    db.stats["index_rows"] = 0
+    rows = execute_sql(db, "SELECT id FROM users WHERE name = 'ada'")
+    assert [r["id"] for r in rows] == [1]
+    # Same query, no index: every heap row was visited.
+    assert db.stats["rows_scanned"] == 3
+    assert db.stats["index_rows"] == 0
+
+
 # ---------------------------------------------------------------- errors
 
 def test_parse_errors():

@@ -92,3 +92,48 @@ def test_wal_len_counts_valid_records():
     for i in range(5):
         wal.append(("r", i))
     assert len(wal) == 5
+
+
+def test_wal_taps_see_records_in_append_order():
+    wal = WriteAheadLog()
+    seen_a, seen_b = [], []
+    wal.taps.append(seen_a.append)
+    wal.taps.append(lambda rec: seen_b.append(rec))
+    records = [("begin", 1), ("insert", 1, "t", 1, [1]), ("commit", 1)]
+    for rec in records:
+        wal.append(rec)
+    assert seen_a == records
+    assert seen_b == records
+
+
+def test_observer_byte_gauge_consistent_under_rollback():
+    """Sum of observer deltas tracks wal.size() — a rollback appends an
+    abort record (growing the log), it never double-counts or rewinds
+    the undone mutations."""
+    from repro.db.engine import Database
+    from repro.db.table import Column
+
+    db = Database()
+    db.create_table("t", [Column("a", "INT", primary_key=True)])
+    deltas = []
+    totals = []
+
+    def observe(delta, total):
+        deltas.append(delta)
+        totals.append(total)
+
+    db.wal.observer = observe
+    base = db.wal.size()
+    db.begin()
+    db.insert("t", [1])
+    db.insert("t", [2])
+    db.rollback()
+    assert db.count("t") == 0
+    # Every delta was a forward append; the running total never jumped.
+    assert all(d > 0 for d in deltas)
+    assert base + sum(deltas) == db.wal.size()
+    assert totals[-1] == db.wal.size()
+    # Committed work after the rollback keeps the same invariant.
+    with db.transaction():
+        db.insert("t", [3])
+    assert base + sum(deltas) == db.wal.size()

@@ -206,6 +206,51 @@ def test_goldens_unchanged_with_idle_notify_queue_attached(
 
 
 @pytest.mark.parametrize("name", sorted(FIGURES))
+def test_goldens_unchanged_with_mvcc_and_idle_replica(name, monkeypatch):
+    """MVCC on + an attached-but-disabled read replica must stay inert.
+
+    The DB-scale determinism contract (DESIGN.md §15): MVCC is pure
+    bookkeeping — version chains are saved and pruned in the writer's
+    stack frame, no simulation event is ever created — and a disabled
+    :class:`~repro.db.replica.ReadReplica` taps nothing, so its tables
+    stay provably empty.  Re-running each figure with the engine in
+    MVCC mode and a disabled replica attached to the appliance database
+    must reproduce the committed goldens byte-for-byte.
+    """
+    import repro.scenarios.common as common
+    from repro.db.replica import ReadReplica
+
+    real_deploy = common.deploy_onserve
+    replicas = []
+
+    def attach_db_tier(ev):
+        if not ev._ok:
+            return
+        stack = ev._value
+        stack.dbmanager.db.mvcc = True
+        replicas.append(ReadReplica(
+            stack.sim, stack.dbmanager.db, lag=0.5, enabled=False))
+
+    def tiered_deploy(testbed, config=None, **kw):
+        proc = real_deploy(testbed, config, **kw)
+        proc.add_callback(attach_db_tier)
+        return proc
+
+    monkeypatch.setattr(common, "deploy_onserve", tiered_deploy)
+    golden = (GOLDEN_DIR / f"{name}.csv").read_text()
+    actual = to_csv(FIGURES[name](seed=0).series) + "\n"
+    assert actual == golden, (
+        f"{name} drifted with MVCC + a disabled replica attached — the "
+        f"DB-scale plane perturbed the simulation")
+    # Provably inert: the disabled replica shipped and applied nothing.
+    assert replicas
+    replica = replicas[-1]
+    assert replica.db.tables == {}
+    assert replica.backlog() == 0
+    assert replica.records_applied == 0
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
 def test_goldens_unchanged_with_control_tower_attached(name, monkeypatch):
     """An attached-but-observing control tower must not perturb a run.
 
